@@ -1,0 +1,167 @@
+package cmpnurapid_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// the design-choice ablations. Each benchmark regenerates its
+// table/figure at a reduced scale per iteration and reports the
+// figure's headline quantity via ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// exercises the entire evaluation pipeline. EXPERIMENTS.md records the
+// full-scale numbers produced by cmd/experiments.
+
+import (
+	"testing"
+
+	"cmpnurapid/internal/experiments"
+	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/stats"
+	"cmpnurapid/internal/workload"
+)
+
+// benchRC is the per-iteration simulation scale: small enough that a
+// benchmark iteration is seconds, large enough that the reported
+// metrics are directionally meaningful.
+func benchRC() experiments.RunConfig {
+	return experiments.RunConfig{WarmupInstr: 300_000, Instructions: 200_000, Seed: 42}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1()
+		if t.NumRows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table2()
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table3()
+	}
+}
+
+// figureBench runs one figure's regeneration per iteration and reports
+// metrics extracted from the final evaluation.
+func figureBench(b *testing.B, gen func(e *experiments.Eval) *stats.Table, metrics func(e *experiments.Eval, b *testing.B)) {
+	b.Helper()
+	var last *experiments.Eval
+	for i := 0; i < b.N; i++ {
+		e := experiments.NewEval(benchRC())
+		if t := gen(e); t.NumRows() == 0 {
+			b.Fatal("empty figure")
+		}
+		last = e
+	}
+	if last != nil && metrics != nil {
+		metrics(last, b)
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	figureBench(b, (*experiments.Eval).Figure5, func(e *experiments.Eval, b *testing.B) {
+		b.ReportMetric(100*e.MissFrac(experiments.Private, memsys.LabelRWS), "private-RWS-%")
+		b.ReportMetric(100*e.MissFrac(experiments.UniformShared, memsys.LabelCapacity), "shared-cap-%")
+	})
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	figureBench(b, (*experiments.Eval).Figure6, func(e *experiments.Eval, b *testing.B) {
+		b.ReportMetric(e.Speedup(experiments.Ideal), "ideal-x")
+		b.ReportMetric(e.Speedup(experiments.Private), "private-x")
+		b.ReportMetric(e.Speedup(experiments.NonUniform), "snuca-x")
+	})
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	figureBench(b, (*experiments.Eval).Figure7, func(e *experiments.Eval, b *testing.B) {
+		ros := e.ReuseFracs(true)
+		b.ReportMetric(100*ros[0], "ROS-0reuse-%")
+		rws := e.ReuseFracs(false)
+		b.ReportMetric(100*rws[2], "RWS-2to5-%")
+	})
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	figureBench(b, (*experiments.Eval).Figure8, func(e *experiments.Eval, b *testing.B) {
+		b.ReportMetric(100*e.MissFrac(experiments.NuRAPIDISC, memsys.LabelRWS), "ISC-RWS-%")
+		b.ReportMetric(100*e.MissFrac(experiments.Private, memsys.LabelRWS), "private-RWS-%")
+	})
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	figureBench(b, (*experiments.Eval).Figure9, func(e *experiments.Eval, b *testing.B) {
+		b.ReportMetric(100*e.DataFrac(experiments.NuRAPIDCR, memsys.LabelClosest), "CR-closest-%")
+		b.ReportMetric(100*e.DataFrac(experiments.NuRAPIDISC, memsys.LabelClosest), "ISC-closest-%")
+	})
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	figureBench(b, (*experiments.Eval).Figure10, func(e *experiments.Eval, b *testing.B) {
+		b.ReportMetric(e.Speedup(experiments.NuRAPID), "nurapid-x")
+		b.ReportMetric(e.Speedup(experiments.Private), "private-x")
+	})
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	figureBench(b, (*experiments.Eval).Figure11, func(e *experiments.Eval, b *testing.B) {
+		b.ReportMetric(100*e.MixMissRate(experiments.UniformShared), "shared-miss-%")
+		b.ReportMetric(100*e.MixMissRate(experiments.Private), "private-miss-%")
+		b.ReportMetric(100*e.MixMissRate(experiments.NuRAPID), "nurapid-miss-%")
+	})
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	figureBench(b, (*experiments.Eval).Figure12, func(e *experiments.Eval, b *testing.B) {
+		b.ReportMetric(e.MixSpeedup(experiments.NuRAPID), "nurapid-x")
+		b.ReportMetric(e.MixSpeedup(experiments.Private), "private-x")
+	})
+}
+
+// ablationBenchRC is larger than benchRC: the ablation effects only
+// appear once the tag arrays and d-groups fill (see
+// internal/experiments/abl_scale_test.go).
+func ablationBenchRC() experiments.RunConfig {
+	return experiments.RunConfig{WarmupInstr: 3_000_000, Instructions: 1_500_000, Seed: 42}
+}
+
+func BenchmarkAblationPromotion(b *testing.B) {
+	var fastest, next float64
+	for i := 0; i < b.N; i++ {
+		fastest, next = experiments.PromotionSpeedups(ablationBenchRC(), 2) // MIX3: mcf vs small apps
+	}
+	b.ReportMetric(fastest, "fastest-x")
+	b.ReportMetric(next, "next-fastest-x")
+}
+
+func BenchmarkAblationTagCapacity(b *testing.B) {
+	var s [3]float64
+	for i := 0; i < b.N; i++ {
+		s = experiments.TagCapacitySpeedups(ablationBenchRC(), workload.OLTP(42))
+	}
+	b.ReportMetric(s[0], "tags1x-x")
+	b.ReportMetric(s[1], "tags2x-x")
+	b.ReportMetric(s[2], "tags4x-x")
+}
+
+func BenchmarkAblationOptimizations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := experiments.AblationOptimizations(benchRC()); t.NumRows() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkAblationReplicationTrigger(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := experiments.AblationReplicationTrigger(benchRC()); t.NumRows() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

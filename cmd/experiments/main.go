@@ -1,0 +1,112 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures. Run with -exp all (default) or a comma-separated subset:
+//
+//	experiments -exp table1,fig5,fig10 -instr 3000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cmpnurapid/internal/experiments"
+	"cmpnurapid/internal/stats"
+)
+
+func main() {
+	var (
+		exps   = flag.String("exp", "all", "comma-separated experiments: table1..3, fig5..fig12, summary, all; ablations (opt-in): abl-promotion, abl-tags, abl-replication, abl-optimizations, abl-cmigration, abl-update, abl-dnuca, bandwidth, capacity; sensitivity: sens-size, sens-seed")
+		instr  = flag.Uint64("instr", 3_000_000, "measured instructions per core")
+		warmup = flag.Int("warmup", 5_000_000, "warm-up instructions per core")
+		seed   = flag.Uint64("seed", 42, "workload seed")
+		format = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	rc := experiments.RunConfig{WarmupInstr: *warmup, Instructions: *instr, Seed: *seed}
+	eval := experiments.NewEval(rc)
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	render := func(t *stats.Table) string {
+		if *format == "csv" {
+			return t.CSV()
+		}
+		return t.String()
+	}
+	show := func(name string, f func() *stats.Table) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		fmt.Println(render(f()))
+		if *format == "text" {
+			fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	show("table1", experiments.Table1)
+	show("table2", experiments.Table2)
+	show("table3", experiments.Table3)
+	// Ablations are opt-in (not part of "all"): they re-run many
+	// CMP-NuRAPID variants.
+	showAbl := func(name string, f func(experiments.RunConfig) *stats.Table) {
+		if !want[name] {
+			return
+		}
+		start := time.Now()
+		fmt.Println(render(f(rc)))
+		if *format == "text" {
+			fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	showAbl("abl-promotion", experiments.AblationPromotion)
+	showAbl("abl-tags", experiments.AblationTagCapacity)
+	showAbl("abl-replication", experiments.AblationReplicationTrigger)
+	showAbl("abl-optimizations", experiments.AblationOptimizations)
+	showAbl("abl-cmigration", experiments.AblationCMigration)
+	showAbl("abl-update", experiments.AblationUpdateProtocol)
+	showAbl("abl-dnuca", experiments.DNUCAComparison)
+	showAbl("bandwidth", experiments.BandwidthReport)
+	if want["capacity"] {
+		start := time.Now()
+		fmt.Println(render(experiments.CapacityReport(rc, 2))) // MIX3: mcf vs small apps
+		if *format == "text" {
+			fmt.Printf("[capacity regenerated in %v]\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if want["sens-size"] {
+		start := time.Now()
+		fmt.Println(render(experiments.SizeSensitivity(rc, []int{4, 8, 16})))
+		if *format == "text" {
+			fmt.Printf("[sens-size regenerated in %v]\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if want["sens-seed"] {
+		start := time.Now()
+		fmt.Println(render(experiments.SeedSensitivity(rc, []uint64{*seed, *seed + 1, *seed + 2})))
+		if *format == "text" {
+			fmt.Printf("[sens-seed regenerated in %v]\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+	show("fig5", eval.Figure5)
+	show("fig6", eval.Figure6)
+	show("fig7", eval.Figure7)
+	show("fig8", eval.Figure8)
+	show("fig9", eval.Figure9)
+	show("fig10", eval.Figure10)
+	show("fig11", eval.Figure11)
+	show("fig12", eval.Figure12)
+	if all || want["summary"] {
+		fmt.Println(eval.Summary())
+	}
+	if len(want) == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments selected")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,125 @@
+package cmpnurapid_test
+
+import (
+	"bytes"
+	"testing"
+
+	"cmpnurapid"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	// The README's quickstart flow must work as written.
+	sys := cmpnurapid.NewSystem(cmpnurapid.CMPNuRAPID, cmpnurapid.OLTP(42))
+	sys.Warmup(50_000)
+	res := sys.Run(50_000)
+	if res.IPC <= 0 {
+		t.Fatalf("IPC = %v", res.IPC)
+	}
+	if res.L2.Accesses.Total() == 0 {
+		t.Fatal("no L2 accesses recorded")
+	}
+}
+
+func TestAllDesignsRunAllWorkloads(t *testing.T) {
+	designs := []cmpnurapid.Design{
+		cmpnurapid.UniformShared, cmpnurapid.NonUniformShared,
+		cmpnurapid.Private, cmpnurapid.Ideal, cmpnurapid.CMPNuRAPID,
+	}
+	mks := []func(uint64) cmpnurapid.Workload{
+		cmpnurapid.OLTP, cmpnurapid.Apache, cmpnurapid.SPECjbb,
+		cmpnurapid.Ocean, cmpnurapid.Barnes,
+	}
+	for _, d := range designs {
+		for _, mk := range mks {
+			sys := cmpnurapid.NewSystem(d, mk(7))
+			res := sys.Run(5_000)
+			if res.Instructions == 0 || res.Cycles == 0 {
+				t.Errorf("%s: degenerate run", d)
+			}
+		}
+	}
+}
+
+func TestMixesRun(t *testing.T) {
+	for i, w := range cmpnurapid.Mixes(3) {
+		sys := cmpnurapid.NewSystem(cmpnurapid.CMPNuRAPID, w)
+		res := sys.Run(5_000)
+		if res.IPC <= 0 {
+			t.Errorf("mix %d: IPC %v", i+1, res.IPC)
+		}
+	}
+}
+
+func TestDeriveLatenciesTable1(t *testing.T) {
+	l := cmpnurapid.DeriveLatencies()
+	if l.SharedTotal != 59 || l.PrivateTotal != 10 || l.NuRAPIDTag != 5 || l.Bus != 32 {
+		t.Errorf("Table 1 latencies wrong: %+v", l)
+	}
+}
+
+func TestCustomNuRAPIDConfig(t *testing.T) {
+	cfg := cmpnurapid.DefaultNuRAPIDConfig()
+	cfg.EnableISC = false
+	c := cmpnurapid.NewCMPNuRAPID(cfg)
+	if c.Name() != "CMP-NuRAPID (CR only)" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	sys := cmpnurapid.NewSystemWith(c, cmpnurapid.Apache(1))
+	sys.Run(5_000)
+	c.CheckInvariants()
+}
+
+func TestTraceRoundTripPublicAPI(t *testing.T) {
+	var buf bytes.Buffer
+	if err := cmpnurapid.RecordTrace(&buf, cmpnurapid.Barnes(5), 1000); err != nil {
+		t.Fatal(err)
+	}
+	w, err := cmpnurapid.LoadTrace(&buf, "barnes-replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := cmpnurapid.NewSystem(cmpnurapid.Private, w)
+	res := sys.Run(1_000)
+	if res.Instructions == 0 {
+		t.Fatal("replayed trace drove no instructions")
+	}
+}
+
+func TestSpeedupSelf(t *testing.T) {
+	mk := func() cmpnurapid.Results {
+		sys := cmpnurapid.NewSystem(cmpnurapid.Ideal, cmpnurapid.SPECjbb(9))
+		return sys.Run(10_000)
+	}
+	a, b := mk(), mk()
+	if sp := cmpnurapid.Speedup(a, b); sp < 0.999 || sp > 1.001 {
+		t.Errorf("self-speedup = %v, want 1.0 (determinism)", sp)
+	}
+}
+
+// BenchmarkL2Access measures raw per-access simulation cost per design.
+func BenchmarkL2Access(b *testing.B) {
+	for _, d := range []cmpnurapid.Design{
+		cmpnurapid.UniformShared, cmpnurapid.Private, cmpnurapid.CMPNuRAPID,
+	} {
+		b.Run(string(d), func(b *testing.B) {
+			l2 := cmpnurapid.NewL2(d)
+			now := uint64(0)
+			for i := 0; i < b.N; i++ {
+				addr := cmpnurapid.Addr((i % 4096) * 128)
+				l2.Access(now, i%4, addr, i%7 == 0)
+				now += 10
+			}
+		})
+	}
+}
+
+// BenchmarkSystemThroughput measures end-to-end simulated instructions
+// per second for the full system.
+func BenchmarkSystemThroughput(b *testing.B) {
+	sys := cmpnurapid.NewSystem(cmpnurapid.CMPNuRAPID, cmpnurapid.OLTP(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(10_000)
+	}
+	b.ReportMetric(float64(40_000*b.N)/b.Elapsed().Seconds(), "sim-instr/s")
+}

@@ -1,0 +1,73 @@
+// Commercial-server comparison: the paper's motivating scenario. Runs
+// the three commercial multithreaded workloads (OLTP, Apache, SPECjbb)
+// on every cache design and prints the Figure 10-style comparison:
+// relative performance and the miss-taxonomy breakdown that explains
+// it (controlled replication attacking ROS misses, in-situ
+// communication attacking RWS misses).
+//
+//	go run ./examples/commercial [-instr N] [-warmup N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cmpnurapid"
+)
+
+func main() {
+	var (
+		instr  = flag.Uint64("instr", 1_500_000, "measured instructions per core")
+		warmup = flag.Int("warmup", 3_000_000, "warm-up instructions per core")
+		seed   = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	workloads := []struct {
+		name string
+		mk   func(uint64) cmpnurapid.Workload
+	}{
+		{"oltp", cmpnurapid.OLTP},
+		{"apache", cmpnurapid.Apache},
+		{"specjbb", cmpnurapid.SPECjbb},
+	}
+	designs := []cmpnurapid.Design{
+		cmpnurapid.NonUniformShared,
+		cmpnurapid.Private,
+		cmpnurapid.CMPNuRAPID,
+		cmpnurapid.Ideal,
+	}
+
+	sums := map[cmpnurapid.Design]float64{}
+	for _, w := range workloads {
+		baseSys := cmpnurapid.NewSystem(cmpnurapid.UniformShared, w.mk(*seed))
+		baseSys.Warmup(*warmup)
+		base := baseSys.Run(*instr)
+
+		fmt.Printf("%s (uniform-shared: IPC %.3f, %4.1f%% L2 misses)\n",
+			w.name, base.IPC, 100*base.L2.MissRate())
+		for _, d := range designs {
+			sys := cmpnurapid.NewSystem(d, w.mk(*seed))
+			sys.Warmup(*warmup)
+			r := sys.Run(*instr)
+			sp := cmpnurapid.Speedup(r, base)
+			sums[d] += sp
+			fmt.Printf("  %-20s %+6.1f%%   misses: %4.1f%%", d, (sp-1)*100, 100*r.L2.MissRate())
+			if d == cmpnurapid.CMPNuRAPID {
+				fmt.Printf("   (CR: %d pointer shares; ISC write-throughs active)",
+					r.L2.PointerReturns)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("commercial average vs uniform-shared:")
+	for _, d := range designs {
+		fmt.Printf("  %-20s %+6.1f%%\n", d, (sums[d]/float64(len(workloads))-1)*100)
+	}
+	fmt.Println("\npaper (Figure 10): non-uniform-shared +4%, private +5%, CMP-NuRAPID +13%, ideal +17%")
+	fmt.Println("(this reproduction's in-order blocking-miss cores expose more of the L2")
+	fmt.Println("latency than the paper's full-system timing, so all gaps are larger;")
+	fmt.Println("the ordering and the CMP-NuRAPID/ideal ratio match — see EXPERIMENTS.md)")
+}

@@ -1,0 +1,47 @@
+// Distance-associativity demonstration on the uniprocessor NuRAPID
+// substrate [8] that CMP-NuRAPID extends. A Zipf-skewed access stream
+// runs against an 8 MB NuRAPID with four d-groups (6/20/20/33 cycles);
+// promotion migrates the hot working set into the closest d-group, so
+// most hits cost 6 cycles even though the closest d-group is only a
+// quarter of the capacity — the property the whole design builds on.
+//
+//	go run ./examples/nurapid
+package main
+
+import (
+	"fmt"
+
+	"cmpnurapid"
+	"cmpnurapid/internal/rng"
+)
+
+func main() {
+	cfg := cmpnurapid.DefaultUniprocessorConfig()
+	c := cmpnurapid.NewUniprocessorNuRAPID(cfg)
+
+	// 6 MB working set (48k blocks), Zipf-skewed: hot head, long tail.
+	r := rng.New(7)
+	z := rng.NewZipf(r, 48_000, 0.9)
+	const accesses = 2_000_000
+	var totalLat uint64
+	for i := 0; i < accesses; i++ {
+		lat, _ := c.Access(cmpnurapid.Addr(z.Next() * 128))
+		totalLat += uint64(lat)
+	}
+	c.CheckInvariants()
+
+	s := c.Stats()
+	fmt.Printf("accesses: %d   hits: %d (%.1f%%)   misses: %d\n",
+		accesses, s.Hits, 100*float64(s.Hits)/float64(accesses), s.Misses)
+	fmt.Println("\nhit distribution by d-group (latency 6 / 20 / 20 / 33 cycles):")
+	for g, n := range s.HitsByDG {
+		fmt.Printf("  d-group %c: %8d hits (%.1f%%)\n",
+			'a'+g, n, 100*float64(n)/float64(s.Hits))
+	}
+	fmt.Printf("\npromotions: %d   demotions: %d   evictions: %d\n",
+		s.Promotions, s.Demotions, s.Evictions)
+	fmt.Printf("average access latency: %.1f cycles (closest-d-group hit costs %d)\n",
+		float64(totalLat)/accesses, cfg.TagLatency+cfg.DGroups[0].Latency)
+	fmt.Println("\nthe closest d-group is 1/4 of the capacity but serves the majority")
+	fmt.Println("of hits: distance associativity decouples placement from set mapping")
+}

@@ -1,0 +1,41 @@
+// Quickstart: run one workload on CMP-NuRAPID and on the conventional
+// uniform-shared cache, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"cmpnurapid"
+)
+
+func main() {
+	const (
+		seed   = 42
+		warmup = 2_000_000 // instructions per core to fill the 8 MB cache
+		window = 1_000_000 // instructions per core measured
+	)
+
+	// Every design must see the identical reference streams, so build a
+	// fresh workload with the same seed for each system.
+	baseSys := cmpnurapid.NewSystem(cmpnurapid.UniformShared, cmpnurapid.OLTP(seed))
+	baseSys.Warmup(warmup)
+	base := baseSys.Run(window)
+
+	nuSys := cmpnurapid.NewSystem(cmpnurapid.CMPNuRAPID, cmpnurapid.OLTP(seed))
+	nuSys.Warmup(warmup)
+	nu := nuSys.Run(window)
+
+	fmt.Printf("workload: OLTP (4 cores, %d instructions each)\n\n", window)
+	fmt.Printf("%-16s  IPC %.3f   L2 miss rate %.1f%%\n",
+		base.Design, base.IPC, 100*base.L2.MissRate())
+	fmt.Printf("%-16s  IPC %.3f   L2 miss rate %.1f%%\n",
+		nu.Design, nu.IPC, 100*nu.L2.MissRate())
+	fmt.Printf("\nCMP-NuRAPID speedup over uniform-shared: %.2fx\n",
+		cmpnurapid.Speedup(nu, base))
+	fmt.Printf("controlled replication made %d pointer returns and %d copies;\n",
+		nu.L2.PointerReturns, nu.L2.Replications)
+	fmt.Printf("capacity stealing performed %d promotions and %d demotions\n",
+		nu.L2.Promotions, nu.L2.Demotions)
+}

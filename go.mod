@@ -1,0 +1,3 @@
+module cmpnurapid
+
+go 1.22

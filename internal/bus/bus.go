@@ -1,0 +1,133 @@
+// Package bus models the pipelined split-transaction snoopy bus the
+// private-cache baseline and CMP-NuRAPID snoop on (paper §2.2.2, §4.2).
+//
+// The bus has separate wires for addresses and pointers (so CMP-
+// NuRAPID's pointer returns ride alongside ordinary snoops), a fixed
+// end-to-end latency — the paper sets it to the wire delay for a core
+// to reach the farthest tag array, 32 cycles — and pipelined slots:
+// a new transaction may be issued every SlotCycles even while earlier
+// transactions are still in flight.
+package bus
+
+// Kind enumerates snoopy bus transactions. BusRepl is CMP-NuRAPID's
+// addition: a broadcast sent before replacing a shared data block so
+// sharers whose tags point at the dying frame can invalidate them
+// (§3.1).
+type Kind int
+
+const (
+	BusRd Kind = iota
+	BusRdX
+	BusUpg
+	BusRepl
+	Flush
+	PtrReturn
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case BusRd:
+		return "BusRd"
+	case BusRdX:
+		return "BusRdX"
+	case BusUpg:
+		return "BusUpg"
+	case BusRepl:
+		return "BusRepl"
+	case Flush:
+		return "Flush"
+	case PtrReturn:
+		return "PtrReturn"
+	}
+	return "Kind(?)"
+}
+
+// Config sets the bus timing parameters.
+type Config struct {
+	// Latency is the end-to-end cycles for a transaction to be seen by
+	// all snoopers (Table 1: 32).
+	Latency int
+	// SlotCycles is the issue interval of the pipelined bus: a new
+	// transaction can start every SlotCycles.
+	SlotCycles int
+}
+
+// DefaultConfig matches the paper's Table 1 bus.
+func DefaultConfig() Config { return Config{Latency: 32, SlotCycles: 4} }
+
+// Bus tracks slot occupancy and counts traffic. It is not safe for
+// concurrent use; the simulator is single-threaded by design (the
+// simulated cores interleave deterministically).
+type Bus struct {
+	cfg      Config
+	nextFree uint64
+	counts   [numKinds]uint64
+	// waitCycles accumulates arbitration stalls for bandwidth analysis.
+	waitCycles uint64
+}
+
+// New creates a bus with the given configuration.
+func New(cfg Config) *Bus {
+	if cfg.Latency <= 0 || cfg.SlotCycles <= 0 {
+		panic("bus: non-positive latency or slot width")
+	}
+	return &Bus{cfg: cfg}
+}
+
+// Transact issues a transaction of the given kind at cycle now. It
+// returns the cycle at which the transaction is visible to all snoopers
+// (grant + latency). Arbitration delay due to earlier transactions is
+// included.
+func (b *Bus) Transact(now uint64, kind Kind) (visibleAt uint64) {
+	grant := now
+	if b.nextFree > grant {
+		b.waitCycles += b.nextFree - grant
+		grant = b.nextFree
+	}
+	b.nextFree = grant + uint64(b.cfg.SlotCycles)
+	b.counts[kind]++
+	return grant + uint64(b.cfg.Latency)
+}
+
+// Latency returns the configured end-to-end latency.
+func (b *Bus) Latency() int { return b.cfg.Latency }
+
+// Count returns how many transactions of the given kind were issued.
+func (b *Bus) Count(kind Kind) uint64 { return b.counts[kind] }
+
+// TotalTransactions returns the total number issued.
+func (b *Bus) TotalTransactions() uint64 {
+	var t uint64
+	for _, c := range b.counts {
+		t += c
+	}
+	return t
+}
+
+// WaitCycles returns the cumulative arbitration stall cycles.
+func (b *Bus) WaitCycles() uint64 { return b.waitCycles }
+
+// Port models a single-ported, unpipelined structure (a private tag
+// array or a data d-group; §3.3.2: "each private tag array and data
+// d-group is single-ported and not pipelined"). An access occupies the
+// port for its full duration.
+type Port struct {
+	nextFree   uint64
+	busyCycles uint64
+}
+
+// Acquire reserves the port at cycle now for dur cycles and returns the
+// cycle at which the access starts (>= now if the port was busy).
+func (p *Port) Acquire(now uint64, dur int) (start uint64) {
+	start = now
+	if p.nextFree > start {
+		start = p.nextFree
+	}
+	p.nextFree = start + uint64(dur)
+	p.busyCycles += uint64(dur)
+	return start
+}
+
+// BusyCycles returns the total cycles the port has been occupied.
+func (p *Port) BusyCycles() uint64 { return p.busyCycles }

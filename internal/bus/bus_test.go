@@ -1,0 +1,124 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTransactLatency(t *testing.T) {
+	b := New(DefaultConfig())
+	if got := b.Transact(100, BusRd); got != 132 {
+		t.Errorf("first transaction visible at %d, want 132", got)
+	}
+}
+
+func TestTransactPipelining(t *testing.T) {
+	b := New(Config{Latency: 32, SlotCycles: 4})
+	// Two back-to-back transactions at the same cycle: the second waits
+	// one slot, not a full latency.
+	first := b.Transact(0, BusRd)
+	second := b.Transact(0, BusRdX)
+	if first != 32 {
+		t.Errorf("first = %d, want 32", first)
+	}
+	if second != 36 {
+		t.Errorf("second = %d, want 36 (one slot later)", second)
+	}
+	if b.WaitCycles() != 4 {
+		t.Errorf("WaitCycles = %d, want 4", b.WaitCycles())
+	}
+}
+
+func TestTransactNoContentionWhenSpaced(t *testing.T) {
+	b := New(Config{Latency: 32, SlotCycles: 4})
+	b.Transact(0, BusRd)
+	if got := b.Transact(10, BusRd); got != 42 {
+		t.Errorf("spaced transaction visible at %d, want 42", got)
+	}
+	if b.WaitCycles() != 0 {
+		t.Errorf("WaitCycles = %d, want 0", b.WaitCycles())
+	}
+}
+
+func TestCounts(t *testing.T) {
+	b := New(DefaultConfig())
+	b.Transact(0, BusRd)
+	b.Transact(0, BusRd)
+	b.Transact(0, BusRepl)
+	if b.Count(BusRd) != 2 || b.Count(BusRepl) != 1 || b.Count(BusUpg) != 0 {
+		t.Errorf("counts wrong: BusRd=%d BusRepl=%d BusUpg=%d",
+			b.Count(BusRd), b.Count(BusRepl), b.Count(BusUpg))
+	}
+	if b.TotalTransactions() != 3 {
+		t.Errorf("TotalTransactions = %d, want 3", b.TotalTransactions())
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero latency did not panic")
+		}
+	}()
+	New(Config{Latency: 0, SlotCycles: 4})
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		BusRd: "BusRd", BusRdX: "BusRdX", BusUpg: "BusUpg",
+		BusRepl: "BusRepl", Flush: "Flush", PtrReturn: "PtrReturn",
+		Kind(99): "Kind(?)",
+	}
+	for k, w := range want {
+		if got := k.String(); got != w {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, w)
+		}
+	}
+}
+
+func TestTransactMonotone(t *testing.T) {
+	// Property: visibility times never decrease as issue times advance,
+	// and a transaction is always visible at least Latency after issue.
+	b := New(Config{Latency: 32, SlotCycles: 4})
+	f := func(deltas []uint8) bool {
+		now := uint64(0)
+		lastVis := uint64(0)
+		for _, d := range deltas {
+			now += uint64(d)
+			vis := b.Transact(now, BusRd)
+			if vis < now+32 || vis < lastVis {
+				return false
+			}
+			lastVis = vis
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPortSerializes(t *testing.T) {
+	var p Port
+	if got := p.Acquire(10, 6); got != 10 {
+		t.Errorf("first acquire starts at %d, want 10", got)
+	}
+	// Overlapping request must wait for the port.
+	if got := p.Acquire(12, 6); got != 16 {
+		t.Errorf("overlapping acquire starts at %d, want 16", got)
+	}
+	// A later request after the port drains starts immediately.
+	if got := p.Acquire(100, 6); got != 100 {
+		t.Errorf("late acquire starts at %d, want 100", got)
+	}
+	if p.BusyCycles() != 18 {
+		t.Errorf("BusyCycles = %d, want 18", p.BusyCycles())
+	}
+}
+
+func TestPortZeroValueUsable(t *testing.T) {
+	var p Port
+	if got := p.Acquire(0, 1); got != 0 {
+		t.Errorf("zero-value port first acquire = %d, want 0", got)
+	}
+}

@@ -1,0 +1,220 @@
+// Package cache provides the generic set-associative structures every
+// cache in the simulator is built from: a tag/line array with
+// configurable geometry, per-set LRU, and a payload type parameter so
+// the same machinery backs L1 caches, conventional L2 designs, and
+// CMP-NuRAPID's pointer-carrying private tag arrays.
+package cache
+
+import (
+	"fmt"
+
+	"cmpnurapid/internal/memsys"
+)
+
+// Line is one tag-array entry with a caller-defined payload (coherence
+// state, forward pointer, reuse counters, ...).
+type Line[T any] struct {
+	Valid   bool
+	Tag     uint64
+	lastUse uint64
+	Data    T
+}
+
+// Geometry describes a set-associative array.
+type Geometry struct {
+	Sets       int
+	Ways       int
+	BlockBytes int
+}
+
+// Validate panics unless all fields are positive powers of two (sets
+// and blocks must be for indexing; ways only needs positivity but
+// real designs use powers of two and requiring it catches typos).
+func (g Geometry) Validate() {
+	if !pow2(g.Sets) || !pow2(g.BlockBytes) {
+		panic(fmt.Sprintf("cache: sets (%d) and block size (%d) must be powers of two",
+			g.Sets, g.BlockBytes))
+	}
+	if g.Ways <= 0 {
+		panic("cache: ways must be positive")
+	}
+}
+
+// GeometryFor computes sets from capacity, associativity and block
+// size.
+func GeometryFor(capacityBytes, ways, blockBytes int) Geometry {
+	sets := capacityBytes / (ways * blockBytes)
+	if sets == 0 {
+		sets = 1
+	}
+	return Geometry{Sets: sets, Ways: ways, BlockBytes: blockBytes}
+}
+
+// CapacityBytes returns the data capacity the geometry covers.
+func (g Geometry) CapacityBytes() int { return g.Sets * g.Ways * g.BlockBytes }
+
+// Array is a set-associative array of lines with per-set true LRU.
+type Array[T any] struct {
+	geo       Geometry
+	blockBits uint
+	setMask   uint64
+	lines     []Line[T] // sets*ways, row-major by set
+	clock     uint64
+}
+
+// NewArray allocates an array with the given geometry.
+func NewArray[T any](geo Geometry) *Array[T] {
+	geo.Validate()
+	return &Array[T]{
+		geo:       geo,
+		blockBits: uint(log2(geo.BlockBytes)),
+		setMask:   uint64(geo.Sets - 1),
+		lines:     make([]Line[T], geo.Sets*geo.Ways),
+	}
+}
+
+// Geometry returns the array's geometry.
+func (a *Array[T]) Geometry() Geometry { return a.geo }
+
+// SetIndex returns the set an address maps to.
+func (a *Array[T]) SetIndex(addr memsys.Addr) int {
+	return int((uint64(addr) >> a.blockBits) & a.setMask)
+}
+
+// tagOf returns the tag bits for an address (everything above the set
+// index; keeping the full shifted address keeps lookups unambiguous).
+func (a *Array[T]) tagOf(addr memsys.Addr) uint64 {
+	return uint64(addr) >> a.blockBits
+}
+
+// Probe returns the line holding addr, or nil on a miss. It does not
+// update LRU state; pair with Touch on a real access so read-only scans
+// (snoops) do not perturb replacement order.
+func (a *Array[T]) Probe(addr memsys.Addr) *Line[T] {
+	set := a.SetIndex(addr)
+	tag := a.tagOf(addr)
+	base := set * a.geo.Ways
+	for i := base; i < base+a.geo.Ways; i++ {
+		if a.lines[i].Valid && a.lines[i].Tag == tag {
+			return &a.lines[i]
+		}
+	}
+	return nil
+}
+
+// Touch marks a line most-recently-used.
+func (a *Array[T]) Touch(l *Line[T]) {
+	a.clock++
+	l.lastUse = a.clock
+}
+
+// Set returns the lines of one set (for policy code that needs to scan
+// candidates, e.g. CMP-NuRAPID's invalid→private→shared victim order).
+func (a *Array[T]) Set(set int) []Line[T] {
+	base := set * a.geo.Ways
+	return a.lines[base : base+a.geo.Ways]
+}
+
+// LRUOrder calls f for the lines of a set from least to most recently
+// used, skipping invalid lines. Returning false stops the scan.
+func (a *Array[T]) LRUOrder(set int, f func(*Line[T]) bool) {
+	lines := a.Set(set)
+	// Selection-style scan: sets are small (<= 32 ways), so O(ways^2)
+	// is cheaper and simpler than maintaining a list.
+	const done = ^uint64(0)
+	visited := make([]bool, len(lines))
+	for {
+		best := -1
+		var bestUse uint64 = done
+		for i := range lines {
+			if visited[i] || !lines[i].Valid {
+				continue
+			}
+			if lines[i].lastUse < bestUse {
+				bestUse = lines[i].lastUse
+				best = i
+			}
+		}
+		if best == -1 {
+			return
+		}
+		visited[best] = true
+		if !f(&lines[best]) {
+			return
+		}
+	}
+}
+
+// Victim returns the line to replace in addr's set: an invalid line if
+// any, else the least recently used valid line.
+func (a *Array[T]) Victim(addr memsys.Addr) *Line[T] {
+	set := a.SetIndex(addr)
+	lines := a.Set(set)
+	var lru *Line[T]
+	for i := range lines {
+		l := &lines[i]
+		if !l.Valid {
+			return l
+		}
+		if lru == nil || l.lastUse < lru.lastUse {
+			lru = l
+		}
+	}
+	return lru
+}
+
+// Install writes addr into line l, marks it valid and MRU, and returns
+// l for chaining. The caller is responsible for having evicted the old
+// contents (Victim hands back the line to inspect first).
+func (a *Array[T]) Install(l *Line[T], addr memsys.Addr, data T) *Line[T] {
+	l.Valid = true
+	l.Tag = a.tagOf(addr)
+	l.Data = data
+	a.Touch(l)
+	return l
+}
+
+// Invalidate clears a line.
+func (a *Array[T]) Invalidate(l *Line[T]) {
+	var zero T
+	l.Valid = false
+	l.Tag = 0
+	l.Data = zero
+}
+
+// AddrOf reconstructs the block address stored in a line. (The tag
+// keeps the full block address, so the set index is not needed.)
+func (a *Array[T]) AddrOf(l *Line[T]) memsys.Addr {
+	return memsys.Addr(l.Tag << a.blockBits)
+}
+
+// ForEach calls f for every valid line with its set index.
+func (a *Array[T]) ForEach(f func(set int, l *Line[T])) {
+	for i := range a.lines {
+		if a.lines[i].Valid {
+			f(i/a.geo.Ways, &a.lines[i])
+		}
+	}
+}
+
+// CountValid returns the number of valid lines.
+func (a *Array[T]) CountValid() int {
+	n := 0
+	for i := range a.lines {
+		if a.lines[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+func pow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

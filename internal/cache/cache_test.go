@@ -1,0 +1,205 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cmpnurapid/internal/memsys"
+)
+
+func smallArray() *Array[int] {
+	return NewArray[int](Geometry{Sets: 4, Ways: 2, BlockBytes: 64})
+}
+
+func TestGeometryFor(t *testing.T) {
+	g := GeometryFor(2<<20, 8, 128)
+	if g.Sets != 2048 || g.Ways != 8 || g.BlockBytes != 128 {
+		t.Errorf("GeometryFor = %+v", g)
+	}
+	if g.CapacityBytes() != 2<<20 {
+		t.Errorf("CapacityBytes = %d, want 2 MB", g.CapacityBytes())
+	}
+}
+
+func TestGeometryValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two sets did not panic")
+		}
+	}()
+	NewArray[int](Geometry{Sets: 3, Ways: 2, BlockBytes: 64})
+}
+
+func TestProbeMissThenHit(t *testing.T) {
+	a := smallArray()
+	addr := memsys.Addr(0x1000)
+	if a.Probe(addr) != nil {
+		t.Fatal("probe of empty cache hit")
+	}
+	v := a.Victim(addr)
+	a.Install(v, addr, 42)
+	l := a.Probe(addr)
+	if l == nil {
+		t.Fatal("probe after install missed")
+	}
+	if l.Data != 42 {
+		t.Errorf("payload = %d, want 42", l.Data)
+	}
+}
+
+func TestSetIndexAndConflict(t *testing.T) {
+	a := smallArray()
+	// 4 sets, 64 B blocks: addresses 64*4 apart map to the same set.
+	a0 := memsys.Addr(0)
+	a1 := memsys.Addr(64 * 4)
+	a2 := memsys.Addr(64 * 8)
+	if a.SetIndex(a0) != a.SetIndex(a1) || a.SetIndex(a1) != a.SetIndex(a2) {
+		t.Fatal("stride-4-blocks addresses should conflict in a 4-set cache")
+	}
+	if a.SetIndex(a0) == a.SetIndex(memsys.Addr(64)) {
+		t.Fatal("adjacent blocks should map to different sets")
+	}
+}
+
+func TestVictimPrefersInvalid(t *testing.T) {
+	a := smallArray()
+	addr := memsys.Addr(0)
+	a.Install(a.Victim(addr), addr, 1)
+	v := a.Victim(memsys.Addr(64 * 4)) // same set, one way still free
+	if v.Valid {
+		t.Error("victim should be the invalid way while one remains")
+	}
+}
+
+func TestVictimLRU(t *testing.T) {
+	a := smallArray()
+	a0, a1, a2 := memsys.Addr(0), memsys.Addr(64*4), memsys.Addr(64*8)
+	a.Install(a.Victim(a0), a0, 0)
+	a.Install(a.Victim(a1), a1, 1)
+	// Touch a0 so a1 becomes LRU.
+	a.Touch(a.Probe(a0))
+	v := a.Victim(a2)
+	if !v.Valid || a.AddrOf(v) != a1 {
+		t.Errorf("LRU victim = %v (addr %#x), want block %#x", v.Valid, a.AddrOf(v), a1)
+	}
+}
+
+func TestProbeDoesNotPerturbLRU(t *testing.T) {
+	a := smallArray()
+	a0, a1, a2 := memsys.Addr(0), memsys.Addr(64*4), memsys.Addr(64*8)
+	a.Install(a.Victim(a0), a0, 0)
+	a.Install(a.Victim(a1), a1, 1)
+	// A bare Probe of a0 (like a snoop) must not rescue it from LRU.
+	a.Probe(a0)
+	v := a.Victim(a2)
+	if a.AddrOf(v) != a0 {
+		t.Errorf("probe changed LRU order: victim %#x, want %#x", a.AddrOf(v), a0)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	a := smallArray()
+	addr := memsys.Addr(0x40)
+	a.Install(a.Victim(addr), addr, 7)
+	a.Invalidate(a.Probe(addr))
+	if a.Probe(addr) != nil {
+		t.Error("probe after invalidate hit")
+	}
+	if a.CountValid() != 0 {
+		t.Errorf("CountValid = %d, want 0", a.CountValid())
+	}
+}
+
+func TestAddrOfRoundTrip(t *testing.T) {
+	a := NewArray[struct{}](Geometry{Sets: 64, Ways: 4, BlockBytes: 128})
+	f := func(raw uint64) bool {
+		addr := memsys.Addr(raw).BlockAddr(128)
+		l := a.Victim(addr)
+		a.Install(l, addr, struct{}{})
+		return a.AddrOf(l) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	a := smallArray()
+	a0, a1 := memsys.Addr(0), memsys.Addr(64*4)
+	a.Install(a.Victim(a0), a0, 0)
+	a.Install(a.Victim(a1), a1, 1)
+	a.Touch(a.Probe(a0)) // a1 now LRU
+	var order []memsys.Addr
+	a.LRUOrder(a.SetIndex(a0), func(l *Line[int]) bool {
+		order = append(order, a.AddrOf(l))
+		return true
+	})
+	if len(order) != 2 || order[0] != a1 || order[1] != a0 {
+		t.Errorf("LRUOrder = %v, want [%#x %#x]", order, a1, a0)
+	}
+}
+
+func TestLRUOrderEarlyStop(t *testing.T) {
+	a := smallArray()
+	a0, a1 := memsys.Addr(0), memsys.Addr(64*4)
+	a.Install(a.Victim(a0), a0, 0)
+	a.Install(a.Victim(a1), a1, 1)
+	n := 0
+	a.LRUOrder(0, func(*Line[int]) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-stopped scan visited %d lines, want 1", n)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	a := smallArray()
+	addrs := []memsys.Addr{0, 64, 128, 64 * 4}
+	for i, ad := range addrs {
+		a.Install(a.Victim(ad), ad, i)
+	}
+	seen := map[memsys.Addr]bool{}
+	a.ForEach(func(set int, l *Line[int]) {
+		seen[a.AddrOf(l)] = true
+		if a.SetIndex(a.AddrOf(l)) != set {
+			t.Errorf("ForEach set %d inconsistent with address %#x", set, a.AddrOf(l))
+		}
+	})
+	if len(seen) != len(addrs) {
+		t.Errorf("ForEach visited %d lines, want %d", len(seen), len(addrs))
+	}
+}
+
+func TestFullSetEvictionCycle(t *testing.T) {
+	// Property: in a 2-way set, after installing 3 conflicting blocks
+	// the first is gone and the last two remain.
+	a := smallArray()
+	blocks := []memsys.Addr{0, 64 * 4, 64 * 8}
+	for i, b := range blocks {
+		v := a.Victim(b)
+		a.Install(v, b, i)
+	}
+	if a.Probe(blocks[0]) != nil {
+		t.Error("oldest block survived full-set eviction")
+	}
+	if a.Probe(blocks[1]) == nil || a.Probe(blocks[2]) == nil {
+		t.Error("recent blocks evicted unexpectedly")
+	}
+}
+
+func TestCapacityInvariant(t *testing.T) {
+	// Property: valid-line count never exceeds sets*ways regardless of
+	// the install sequence.
+	a := NewArray[int](Geometry{Sets: 2, Ways: 2, BlockBytes: 64})
+	f := func(raws []uint32) bool {
+		for _, r := range raws {
+			ad := memsys.Addr(r).BlockAddr(64)
+			if a.Probe(ad) == nil {
+				a.Install(a.Victim(ad), ad, 0)
+			}
+		}
+		return a.CountValid() <= 4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,435 @@
+// Package cmpsim is the CMP system simulator: four in-order x86-style
+// cores, each with split 64 KB 2-way L1 I and D caches (3-cycle, one
+// outstanding miss), over any memsys.L2 design, with multi-level
+// inclusion and the paper's write-through rule for MESIC C blocks
+// (paper §4.1).
+//
+// Timing model: with in-order issue and a single outstanding miss —
+// the paper's CPU model — a core's timeline is strictly sequential, so
+// per-access latency accounting plus resource reservations (bus slots,
+// single-ported tag arrays and d-groups) reproduces the cycle counts
+// an event-driven pipeline model would give. Cores interleave in
+// global-cycle order, so cross-core contention is seen in the order it
+// would occur.
+package cmpsim
+
+import (
+	"fmt"
+
+	"cmpnurapid/internal/cache"
+	"cmpnurapid/internal/cacti"
+	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/topo"
+)
+
+// Op is one unit of work from a workload stream: Compute non-memory
+// instructions followed by one memory reference (unless NoMem).
+type Op struct {
+	Compute int // non-memory instructions preceding the reference
+	Addr    memsys.Addr
+	Write   bool
+	Instr   bool // instruction fetch: routed through the L1 I-cache
+	NoMem   bool // pure compute; Addr/Write/Instr ignored
+}
+
+// Workload supplies each core's instruction stream. Implementations
+// must be deterministic for a fixed seed.
+type Workload interface {
+	// Next returns core's next op. Streams are infinite.
+	Next(core int) Op
+	// Name identifies the workload in experiment output.
+	Name() string
+}
+
+// CommunicationProber is implemented by L2 designs (CMP-NuRAPID) whose
+// C-state blocks require write-through L1s (§3.2: "we use write-through
+// for all the C blocks in the L1 cache").
+type CommunicationProber interface {
+	IsCommunication(core int, addr memsys.Addr) bool
+}
+
+// Config sets the per-core L1 parameters (paper §4.1 defaults).
+type Config struct {
+	Cores     int
+	L1Bytes   int
+	L1Ways    int
+	L1Block   int
+	L1Latency int
+}
+
+// DefaultConfig matches the paper: 64 KB 2-way split I/D, 64 B blocks,
+// 3-cycle latency.
+func DefaultConfig() Config {
+	return Config{
+		Cores:     topo.NumCores,
+		L1Bytes:   64 << 10,
+		L1Ways:    2,
+		L1Block:   64,
+		L1Latency: cacti.ParallelCacheCycles(64<<10, 64, 2),
+	}
+}
+
+// l1Line is an L1 line's payload: the dirty bit for write-back lines.
+type l1Line struct {
+	dirty bool
+}
+
+// coreState is one core's architectural progress. base* snapshots are
+// taken at the end of warm-up so results report the measurement window
+// only; clocks are never rewound (resource reservations hold absolute
+// cycle numbers).
+type coreState struct {
+	cycles       uint64
+	instructions uint64
+	l1d, l1i     *cache.Array[l1Line]
+
+	baseCycles       uint64
+	baseInstructions uint64
+	// end* snapshot the core's state when it completes its fixed work
+	// quantum (endValid set); later instructions keep the system's
+	// contention realistic but do not count toward results.
+	endCycles       uint64
+	endInstructions uint64
+	endValid        bool
+
+	L1DHits, L1DMisses uint64
+	L1IHits, L1IMisses uint64
+	Writethroughs      uint64
+}
+
+// System couples cores, L1s and an L2 design.
+type System struct {
+	cfg    Config
+	l2     memsys.L2
+	comm   CommunicationProber // nil unless the L2 has C blocks
+	cores  []*coreState
+	stream Workload
+	// directory is set for L2 designs whose protocol does not keep the
+	// L1s coherent itself (the shared caches): the simulator then acts
+	// as the L2-resident L1 directory that real shared-L2 CMPs carry
+	// (paper §2.2.2: "storing L1 tag copies at the L2 to keep L1
+	// caches coherent").
+	directory bool
+}
+
+// New builds a system around the given L2 design and workload.
+func New(cfg Config, l2 memsys.L2, w Workload) *System {
+	if cfg.Cores != topo.NumCores {
+		panic(fmt.Sprintf("cmpsim: config requires %d cores", topo.NumCores))
+	}
+	s := &System{cfg: cfg, l2: l2, stream: w}
+	if cp, ok := l2.(CommunicationProber); ok {
+		s.comm = cp
+	}
+	if _, ok := l2.(memsys.L1Coherent); !ok {
+		s.directory = true
+	}
+	geo := cache.Geometry{
+		Sets:       cfg.L1Bytes / (cfg.L1Ways * cfg.L1Block),
+		Ways:       cfg.L1Ways,
+		BlockBytes: cfg.L1Block,
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		s.cores = append(s.cores, &coreState{
+			l1d: cache.NewArray[l1Line](geo),
+			l1i: cache.NewArray[l1Line](geo),
+		})
+	}
+	if inv, ok := l2.(memsys.L1Invalidator); ok {
+		inv.SetL1Invalidate(s.invalidateL1)
+	}
+	return s
+}
+
+// L2 returns the underlying design.
+func (s *System) L2() memsys.L2 { return s.l2 }
+
+// invalidateL1 preserves inclusion: the L2 calls this when core must
+// drop its L1 copies covering the L2 block.
+func (s *System) invalidateL1(core int, addr memsys.Addr) {
+	cs := s.cores[core]
+	// An L2 block may span several L1 blocks (128 B vs 64 B).
+	l2Block := 128
+	if s.cfg.L1Block > l2Block {
+		l2Block = s.cfg.L1Block
+	}
+	base := addr.BlockAddr(l2Block)
+	for off := 0; off < l2Block; off += s.cfg.L1Block {
+		for _, arr := range []*cache.Array[l1Line]{cs.l1d, cs.l1i} {
+			if l := arr.Probe(base + memsys.Addr(off)); l != nil {
+				arr.Invalidate(l)
+			}
+		}
+	}
+}
+
+// l2Access performs an L2 access, applying L1-directory coherence for
+// designs without their own snooping: a write drops every other core's
+// L1 copies of the block (so no core can read a stale line), and a
+// read drops other cores' *dirty* L1 copies (write-back: the owner's
+// next store must re-request through the L2, where the new reader's
+// copy will then be dropped).
+func (s *System) l2Access(now uint64, core int, addr memsys.Addr, write bool) memsys.Result {
+	res := s.l2.Access(now, core, addr, write)
+	if s.directory {
+		for o := 0; o < s.cfg.Cores; o++ {
+			if o == core {
+				continue
+			}
+			if write || s.dirtyL1Copy(o, addr) {
+				s.invalidateL1(o, addr)
+			}
+		}
+	}
+	return res
+}
+
+// dirtyL1Copy reports whether core's L1 D-cache holds a dirty line of
+// the L2 block containing addr.
+func (s *System) dirtyL1Copy(core int, addr memsys.Addr) bool {
+	l2Block := 128
+	if s.cfg.L1Block > l2Block {
+		l2Block = s.cfg.L1Block
+	}
+	base := addr.BlockAddr(l2Block)
+	cs := s.cores[core]
+	for off := 0; off < l2Block; off += s.cfg.L1Block {
+		if l := cs.l1d.Probe(base + memsys.Addr(off)); l != nil && l.Data.dirty {
+			return true
+		}
+	}
+	return false
+}
+
+// access runs one memory reference for core and returns its latency.
+func (s *System) access(core int, addr memsys.Addr, write, instr bool) int {
+	cs := s.cores[core]
+	arr := cs.l1d
+	if instr {
+		arr = cs.l1i
+	}
+	lat := s.cfg.L1Latency
+	now := cs.cycles + uint64(lat)
+
+	if l := arr.Probe(addr); l != nil {
+		arr.Touch(l)
+		if instr || !write {
+			if instr {
+				cs.L1IHits++
+			} else {
+				cs.L1DHits++
+			}
+			return lat
+		}
+		cs.L1DHits++
+		// Write hit: C blocks write through on every store; clean
+		// write-back lines take ownership at the L2 on the first store;
+		// dirty write-back lines complete locally.
+		if s.comm != nil && s.comm.IsCommunication(core, addr) {
+			cs.Writethroughs++
+			res := s.l2Access(now, core, addr, true)
+			return lat + res.Latency
+		}
+		if !l.Data.dirty {
+			res := s.l2Access(now, core, addr, true)
+			// The L2 may have formed a communication group meanwhile;
+			// C lines stay clean in the L1 so later stores write through.
+			if s.comm == nil || !s.comm.IsCommunication(core, addr) {
+				l.Data.dirty = true
+			}
+			return lat + res.Latency
+		}
+		return lat
+	}
+
+	// L1 miss.
+	if instr {
+		cs.L1IMisses++
+	} else {
+		cs.L1DMisses++
+	}
+	res := s.l2Access(now, core, addr, write)
+	v := arr.Victim(addr)
+	// Dirty victim write-back is functional only: the L2 already holds
+	// the block in M (ownership was taken on the first store).
+	arr.Install(v, addr, l1Line{})
+	nl := arr.Probe(addr)
+	if write && (s.comm == nil || !s.comm.IsCommunication(core, addr)) {
+		nl.Data.dirty = true
+	}
+	if write && s.comm != nil && s.comm.IsCommunication(core, addr) {
+		cs.Writethroughs++
+	}
+	return lat + res.Latency
+}
+
+// step executes one op on core.
+func (s *System) step(core int) {
+	op := s.stream.Next(core)
+	cs := s.cores[core]
+	if op.Compute > 0 {
+		cs.cycles += uint64(op.Compute) // CPI 1 for non-memory work
+		cs.instructions += uint64(op.Compute)
+	}
+	if op.NoMem {
+		return
+	}
+	lat := s.access(core, op.Addr, op.Write, op.Instr)
+	cs.cycles += uint64(lat)
+	cs.instructions++
+}
+
+// Warmup executes at least instrPerCore instructions per core without
+// counting them toward results (the paper warms every workload up
+// before its measurement window). Core clocks are not rewound —
+// resource reservations hold absolute cycle numbers — but per-core
+// baselines and the L2 statistics are reset so results cover only the
+// measurement window.
+func (s *System) Warmup(instrPerCore int) {
+	s.runUntil(func() bool {
+		for _, cs := range s.cores {
+			if cs.instructions < uint64(instrPerCore) {
+				return false
+			}
+		}
+		return true
+	})
+	for _, cs := range s.cores {
+		cs.baseCycles = cs.cycles
+		cs.baseInstructions = cs.instructions
+		cs.endValid = false
+		cs.L1DHits, cs.L1DMisses = 0, 0
+		cs.L1IHits, cs.L1IMisses = 0, 0
+		cs.Writethroughs = 0
+	}
+	s.l2.Stats().Reset()
+}
+
+// Run executes a fixed work quantum — instrPerCore instructions per
+// core beyond the warm-up baseline — and returns the results. Each
+// core's cycle count is snapshotted the moment it completes its
+// quantum; cores that finish early keep running (their later
+// instructions keep bus and port contention realistic but are not
+// counted), and the run ends when the slowest core completes. This is
+// the standard fixed-work CMP methodology: aggregate IPC equals the
+// total quantum divided by the slowest core's time.
+func (s *System) Run(instrPerCore uint64) Results {
+	s.runUntil(func() bool {
+		all := true
+		for _, cs := range s.cores {
+			if cs.endValid {
+				continue
+			}
+			if cs.instructions-cs.baseInstructions >= instrPerCore {
+				cs.endCycles = cs.cycles
+				cs.endInstructions = cs.instructions
+				cs.endValid = true
+				continue
+			}
+			all = false
+		}
+		return all
+	})
+	return s.results()
+}
+
+// runUntil repeatedly advances the laggard core — the earliest local
+// clock — until done reports completion. Every core keeps executing
+// until the slowest reaches its target (the paper likewise runs all
+// cores and stops on the slowest's completion): a core is never frozen
+// at its own target, because a frozen core's stale resource
+// reservations would charge phantom wait cycles to the cores still
+// running, and its extra instructions are real throughput.
+func (s *System) runUntil(done func() bool) {
+	for !done() {
+		pick := 0
+		for c, cs := range s.cores {
+			if cs.cycles < s.cores[pick].cycles {
+				pick = c
+			}
+		}
+		s.step(pick)
+	}
+}
+
+// CoreResult is one core's outcome.
+type CoreResult struct {
+	Cycles        uint64
+	Instructions  uint64
+	IPC           float64
+	L1DHits       uint64
+	L1DMisses     uint64
+	L1IHits       uint64
+	L1IMisses     uint64
+	Writethroughs uint64
+}
+
+// Results aggregates a run.
+type Results struct {
+	Design string
+	Cores  []CoreResult
+	// Cycles is the makespan: the slowest core's clock.
+	Cycles       uint64
+	Instructions uint64
+	// IPC is the aggregate instructions per cycle — the paper's
+	// multiprogrammed metric; for multithreaded workloads the paper's
+	// transactions/sec is proportional to 1/Cycles at fixed work.
+	IPC float64
+	L2  *memsys.L2Stats
+}
+
+func (s *System) results() Results {
+	r := Results{Design: s.l2.Name(), L2: s.l2.Stats()}
+	for _, cs := range s.cores {
+		endC, endI := cs.cycles, cs.instructions
+		if cs.endValid {
+			endC, endI = cs.endCycles, cs.endInstructions
+		}
+		cr := CoreResult{
+			Cycles:       endC - cs.baseCycles,
+			Instructions: endI - cs.baseInstructions,
+			L1DHits:      cs.L1DHits, L1DMisses: cs.L1DMisses,
+			L1IHits: cs.L1IHits, L1IMisses: cs.L1IMisses,
+			Writethroughs: cs.Writethroughs,
+		}
+		if cr.Cycles > 0 {
+			cr.IPC = float64(cr.Instructions) / float64(cr.Cycles)
+		}
+		r.Cores = append(r.Cores, cr)
+		if cr.Cycles > r.Cycles {
+			r.Cycles = cr.Cycles
+		}
+		r.Instructions += cr.Instructions
+	}
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Instructions) / float64(r.Cycles)
+	}
+	return r
+}
+
+// Speedup returns r's performance relative to base as the weighted
+// speedup: the mean over cores of the per-core IPC ratio, each core
+// measured over its own fixed work quantum. For the symmetric
+// multithreaded workloads this coincides with the aggregate-IPC ratio;
+// for multiprogrammed mixes it is the standard fair metric — a design
+// cannot look good by starving the cache-hungry application while the
+// small ones spin.
+func Speedup(r, base Results) float64 {
+	if len(r.Cores) != len(base.Cores) || len(r.Cores) == 0 {
+		if base.IPC == 0 {
+			return 0
+		}
+		return r.IPC / base.IPC
+	}
+	sum, n := 0.0, 0
+	for c := range r.Cores {
+		if base.Cores[c].IPC > 0 {
+			sum += r.Cores[c].IPC / base.Cores[c].IPC
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,275 @@
+package cmpsim
+
+import (
+	"testing"
+
+	"cmpnurapid/internal/bus"
+	"cmpnurapid/internal/core"
+	"cmpnurapid/internal/l2"
+	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/topo"
+)
+
+// scriptedWorkload replays fixed per-core op lists, then idles with
+// compute ops.
+type scriptedWorkload struct {
+	ops [][]Op
+	pos []int
+}
+
+func newScripted(ops [][]Op) *scriptedWorkload {
+	return &scriptedWorkload{ops: ops, pos: make([]int, len(ops))}
+}
+
+func (w *scriptedWorkload) Next(core int) Op {
+	if w.pos[core] < len(w.ops[core]) {
+		op := w.ops[core][w.pos[core]]
+		w.pos[core]++
+		return op
+	}
+	return Op{Compute: 1, NoMem: true}
+}
+
+func (w *scriptedWorkload) Name() string { return "scripted" }
+
+func smallCfg() Config {
+	return Config{Cores: 4, L1Bytes: 1 << 10, L1Ways: 2, L1Block: 64, L1Latency: 3}
+}
+
+func sharedL2() memsys.L2 {
+	return l2.NewShared("uniform-shared", 16<<10, 4, 64, 59, 300)
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.L1Bytes != 64<<10 || cfg.L1Ways != 2 || cfg.L1Block != 64 {
+		t.Errorf("L1 geometry %+v does not match §4.1", cfg)
+	}
+	if cfg.L1Latency != 3 {
+		t.Errorf("L1 latency = %d, want 3", cfg.L1Latency)
+	}
+}
+
+func TestL1HitLatency(t *testing.T) {
+	ops := [][]Op{
+		{{Addr: 0x100}, {Addr: 0x100}}, // second access is an L1 hit
+		{}, {}, {},
+	}
+	s := New(smallCfg(), sharedL2(), newScripted(ops))
+	r := s.Run(2)
+	c := r.Cores[0]
+	if c.L1DHits != 1 || c.L1DMisses != 1 {
+		t.Errorf("L1 stats = %d hits / %d misses, want 1/1", c.L1DHits, c.L1DMisses)
+	}
+	// First access: 3 (L1) + 359 (L2 cold); second: 3.
+	if c.Cycles != 3+359+3 {
+		t.Errorf("core cycles = %d, want 365", c.Cycles)
+	}
+}
+
+func TestComputeOpsAdvanceClock(t *testing.T) {
+	ops := [][]Op{{{Compute: 100, NoMem: true}}, {}, {}, {}}
+	s := New(smallCfg(), sharedL2(), newScripted(ops))
+	r := s.Run(100)
+	if r.Cores[0].Cycles != 100 || r.Cores[0].Instructions != 100 {
+		t.Errorf("compute op: %d cycles %d instr, want 100/100",
+			r.Cores[0].Cycles, r.Cores[0].Instructions)
+	}
+}
+
+func TestInstructionFetchUsesICache(t *testing.T) {
+	ops := [][]Op{
+		{{Addr: 0x200, Instr: true}, {Addr: 0x200, Instr: true}},
+		{}, {}, {},
+	}
+	s := New(smallCfg(), sharedL2(), newScripted(ops))
+	r := s.Run(2)
+	c := r.Cores[0]
+	if c.L1IHits != 1 || c.L1IMisses != 1 {
+		t.Errorf("I-cache stats = %d/%d, want 1 hit / 1 miss", c.L1IHits, c.L1IMisses)
+	}
+	if c.L1DHits+c.L1DMisses != 0 {
+		t.Error("instruction fetch touched the D-cache")
+	}
+}
+
+func TestWriteBackL1AbsorbsRepeatedStores(t *testing.T) {
+	ops := [][]Op{
+		{
+			{Addr: 0x300, Write: true}, // miss: L2 + install dirty
+			{Addr: 0x300, Write: true}, // dirty hit: L1 only
+			{Addr: 0x300, Write: true},
+		},
+		{}, {}, {},
+	}
+	sh := sharedL2()
+	s := New(smallCfg(), sh, newScripted(ops))
+	s.Run(3)
+	if got := sh.Stats().Accesses.Total(); got != 1 {
+		t.Errorf("L2 saw %d accesses, want 1 (write-back L1 absorbs stores)", got)
+	}
+}
+
+func TestFirstStoreToCleanLineTakesOwnership(t *testing.T) {
+	ops := [][]Op{
+		{
+			{Addr: 0x300},              // read miss: L2 access 1
+			{Addr: 0x300, Write: true}, // first store: ownership, L2 access 2
+			{Addr: 0x300, Write: true}, // dirty hit: local
+		},
+		{}, {}, {},
+	}
+	sh := sharedL2()
+	s := New(smallCfg(), sh, newScripted(ops))
+	s.Run(3)
+	if got := sh.Stats().Accesses.Total(); got != 2 {
+		t.Errorf("L2 saw %d accesses, want 2", got)
+	}
+}
+
+// TestCBlockWritesThrough checks §3.2/§4.1: stores to MESIC C blocks
+// reach the L2 every time.
+func TestCBlockWritesThrough(t *testing.T) {
+	nucfg := core.DefaultConfig()
+	nucfg.Bus = bus.Config{Latency: 32, SlotCycles: 4}
+	nu := core.New(nucfg)
+	ops := [][]Op{
+		{ // core 0: producer
+			{Addr: 0x4000, Write: true},
+			{Compute: 50, NoMem: true},  // let the consumer's read land
+			{Addr: 0x4000, Write: true}, // now C: write-through
+			{Addr: 0x4000, Write: true}, // still C: write-through
+		},
+		{ // core 1: consumer forms the C group
+			{Compute: 20, NoMem: true},
+			{Addr: 0x4000},
+			{Compute: 100, NoMem: true},
+		},
+		{}, {},
+	}
+	s := New(smallCfg(), nu, newScripted(ops))
+	s.Run(53)
+	wt := s.cores[0].Writethroughs
+	if wt < 2 {
+		t.Errorf("producer write-throughs = %d, want >= 2", wt)
+	}
+	nu.CheckInvariants()
+}
+
+// TestInclusionInvalidation checks that an L2 eviction removes the L1
+// copy: a subsequent read must miss the L1.
+func TestInclusionInvalidation(t *testing.T) {
+	// Direct-mapped 16-block shared L2 (1 KB): two conflicting blocks.
+	sh := l2.NewShared("tiny", 1<<10, 1, 128, 10, 100)
+	ops := [][]Op{
+		{
+			{Addr: 0x000}, // into L1 and L2
+			{Addr: 0x400}, // evicts 0x000 from L2 (same set) → L1 inv
+			{Addr: 0x000}, // must be an L1 miss again
+		},
+		{}, {}, {},
+	}
+	s := New(smallCfg(), sh, newScripted(ops))
+	r := s.Run(3)
+	if r.Cores[0].L1DMisses != 3 {
+		t.Errorf("L1D misses = %d, want 3 (inclusion must invalidate)", r.Cores[0].L1DMisses)
+	}
+}
+
+// TestL1SpansL2Block checks inclusion drops both 64 B halves of a
+// 128 B L2 block.
+func TestL1SpansL2Block(t *testing.T) {
+	sh := l2.NewShared("tiny", 1<<10, 1, 128, 10, 100)
+	ops := [][]Op{
+		{
+			{Addr: 0x000},
+			{Addr: 0x040}, // second half of the same L2 block
+			{Addr: 0x400}, // evicts the L2 block
+			{Addr: 0x000},
+			{Addr: 0x040},
+		},
+		{}, {}, {},
+	}
+	s := New(smallCfg(), sh, newScripted(ops))
+	r := s.Run(5)
+	if r.Cores[0].L1DMisses != 5 {
+		t.Errorf("L1D misses = %d, want 5 (both halves must drop)", r.Cores[0].L1DMisses)
+	}
+}
+
+func TestRunInterleavesAllCores(t *testing.T) {
+	ops := [][]Op{}
+	for c := 0; c < 4; c++ {
+		ops = append(ops, []Op{{Addr: memsys.Addr(0x1000 * (c + 1))}})
+	}
+	s := New(smallCfg(), sharedL2(), newScripted(ops))
+	r := s.Run(1)
+	for c, cr := range r.Cores {
+		if cr.Instructions < 1 {
+			t.Errorf("core %d retired %d instructions, want >= 1", c, cr.Instructions)
+		}
+	}
+	if r.Instructions < 4 {
+		t.Errorf("total instructions = %d, want >= 4", r.Instructions)
+	}
+}
+
+func TestWarmupResetsStats(t *testing.T) {
+	ops := [][]Op{}
+	for c := 0; c < 4; c++ {
+		var l []Op
+		for i := 0; i < 50; i++ {
+			l = append(l, Op{Addr: memsys.Addr(0x1000*(c+1) + i*64)})
+		}
+		ops = append(ops, l)
+	}
+	sh := sharedL2()
+	s := New(smallCfg(), sh, newScripted(ops))
+	s.Warmup(10)
+	if sh.Stats().Accesses.Total() != 0 {
+		t.Error("warmup did not reset L2 stats")
+	}
+	r := s.Run(5)
+	if r.Cycles == 0 || r.Instructions == 0 {
+		t.Error("post-warmup run recorded nothing")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	fast := Results{IPC: 1.2}
+	slow := Results{IPC: 1.0}
+	if got := Speedup(fast, slow); got != 1.2 {
+		t.Errorf("Speedup = %v, want 1.2", got)
+	}
+	if Speedup(fast, Results{}) != 0 {
+		t.Error("Speedup with zero base should be 0")
+	}
+}
+
+// TestIdealFasterThanUniformShared is the Figure 6 sanity check at
+// system level: identical workloads, ideal wins.
+func TestIdealFasterThanUniformShared(t *testing.T) {
+	mk := func() [][]Op {
+		ops := make([][]Op, 4)
+		for c := 0; c < 4; c++ {
+			for i := 0; i < 200; i++ {
+				// L1-busting stride so the L2 latency matters.
+				ops[c] = append(ops[c], Op{Addr: memsys.Addr(0x10000*(c+1) + (i%64)*1024)})
+			}
+		}
+		return ops
+	}
+	uni := New(DefaultConfig(), l2.NewUniformShared(), newScripted(mk()))
+	idl := New(DefaultConfig(), l2.NewIdeal(), newScripted(mk()))
+	ru := uni.Run(200)
+	ri := idl.Run(200)
+	if Speedup(ri, ru) <= 1 {
+		t.Errorf("ideal speedup %v over uniform-shared, want > 1", Speedup(ri, ru))
+	}
+}
+
+func TestTopoCoresMatch(t *testing.T) {
+	if DefaultConfig().Cores != topo.NumCores {
+		t.Error("core count mismatch")
+	}
+}

@@ -1,0 +1,100 @@
+package coherence
+
+import "testing"
+
+// Exhaustive sweeps over the remaining protocol surface: every
+// (state, op) pair must return a legal result, and the snoop side of
+// both protocols must never invent copies.
+
+func TestMESISnoopExhaustive(t *testing.T) {
+	states := []State{Invalid, Shared, Exclusive, Modified}
+	ops := []BusOp{BusNone, BusRd, BusRdX, BusUpg, BusRepl}
+	for _, s := range states {
+		for _, op := range ops {
+			next, act := MESISnoop(s, op)
+			// Snooping never upgrades a copy's rights.
+			if rank(next) > rank(s) {
+				t.Errorf("MESISnoop(%v, %v) upgraded to %v", s, op, next)
+			}
+			if s == Invalid && (next != Invalid || act != None) {
+				t.Errorf("MESISnoop(I, %v) = (%v, %v)", op, next, act)
+			}
+		}
+	}
+}
+
+func TestMESICSnoopExhaustive(t *testing.T) {
+	states := []State{Invalid, Shared, Exclusive, Modified, Communication}
+	ops := []BusOp{BusNone, BusRd, BusRdX, BusUpg, BusRepl}
+	for _, s := range states {
+		for _, op := range ops {
+			next, act := MESICSnoop(s, op)
+			if s == Invalid && next != Invalid {
+				t.Errorf("MESICSnoop(I, %v) -> %v", op, next)
+			}
+			if s == Communication && next != Communication {
+				t.Errorf("MESICSnoop(C, %v) -> %v (no exits out of C)", op, next)
+			}
+			_ = act
+		}
+	}
+}
+
+// rank orders states by access rights for the no-upgrade check.
+func rank(s State) int {
+	switch s {
+	case Invalid:
+		return 0
+	case Shared:
+		return 1
+	case Exclusive:
+		return 2
+	case Modified, Communication:
+		return 3
+	}
+	return -1
+}
+
+func TestMESICProcExhaustiveLegality(t *testing.T) {
+	states := []State{Invalid, Shared, Exclusive, Modified, Communication}
+	sigs := []Signals{{}, {Shared: true}, {Dirty: true}, {Shared: true, Dirty: true}}
+	for _, s := range states {
+		for _, op := range []ProcOp{PrRd, PrWr} {
+			for _, sig := range sigs {
+				next, _ := MESICProc(s, op, sig)
+				if !next.Valid() {
+					t.Errorf("MESICProc(%v, %v, %+v) left the block invalid", s, op, sig)
+				}
+				if op == PrWr && !(next.Dirty()) {
+					t.Errorf("MESICProc(%v, PrWr, %+v) = %v: a write must leave a dirty state", s, sig, next)
+				}
+			}
+		}
+	}
+}
+
+func TestSnoopActionStrings(t *testing.T) {
+	want := map[SnoopAction]string{
+		None: "-", Flush: "Flush", FlushClean: "Flush'", InvalidateL1: "InvL1",
+	}
+	for a, w := range want {
+		if a.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int8(a), a.String(), w)
+		}
+	}
+	if SnoopAction(9).String() == "" || BusOp(9).String() == "" || State(9).String() == "" {
+		t.Error("unknown-value String() should not be empty")
+	}
+	if BusNone.String() != "-" || BusRepl.String() != "BusRepl" || PrRd.String() != "PrRd" {
+		t.Error("enum strings broken")
+	}
+}
+
+func TestMESISnoopPanicsOnC(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MESISnoop on C did not panic")
+		}
+	}()
+	MESISnoop(Communication, BusRd)
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/rng"
+)
+
+// Micro-benchmarks for the CMP-NuRAPID access paths; these bound the
+// simulator's throughput and catch accidental algorithmic regressions
+// (the demotion chain and snoop paths are the hot spots).
+
+func benchCache() *Cache {
+	return New(DefaultConfig())
+}
+
+func BenchmarkHitClosest(b *testing.B) {
+	c := benchCache()
+	addr := memsys.Addr(0x1000)
+	c.Access(0, 0, addr, false)
+	b.ResetTimer()
+	now := uint64(100)
+	for i := 0; i < b.N; i++ {
+		c.Access(now, 0, addr, false)
+		now += 10
+	}
+}
+
+func BenchmarkHitCommunication(b *testing.B) {
+	c := benchCache()
+	addr := memsys.Addr(0x2000)
+	c.Access(0, 0, addr, true)
+	c.Access(50, 1, addr, false) // C group
+	b.ResetTimer()
+	now := uint64(100)
+	for i := 0; i < b.N; i++ {
+		c.Access(now, i%2, addr, i%2 == 0)
+		now += 10
+	}
+}
+
+func BenchmarkMissCapacity(b *testing.B) {
+	c := benchCache()
+	b.ResetTimer()
+	now := uint64(0)
+	for i := 0; i < b.N; i++ {
+		// A fresh block every time: always a capacity miss with the
+		// full placement path (tag victim, demotion chain once full).
+		c.Access(now, i%4, memsys.Addr(i*128), false)
+		now += 10
+	}
+}
+
+func BenchmarkMixedWorkload(b *testing.B) {
+	c := benchCache()
+	r := rng.New(1)
+	b.ResetTimer()
+	now := uint64(0)
+	for i := 0; i < b.N; i++ {
+		core := r.Intn(4)
+		var addr memsys.Addr
+		switch r.Intn(3) {
+		case 0:
+			addr = memsys.Addr(0x100000*(core+1) + r.Intn(4096)*128)
+		case 1:
+			addr = memsys.Addr(0x800000 + r.Intn(1024)*128)
+		default:
+			addr = memsys.Addr(0x900000 + r.Intn(256)*128)
+		}
+		c.Access(now, core, addr, r.Bool(0.3))
+		now += 10
+	}
+}
+
+func BenchmarkCheckInvariants(b *testing.B) {
+	c := benchCache()
+	r := rng.New(2)
+	now := uint64(0)
+	for i := 0; i < 50000; i++ {
+		c.Access(now, r.Intn(4), memsys.Addr(r.Intn(1<<20))*128, r.Bool(0.3))
+		now += 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.CheckInvariants()
+	}
+}

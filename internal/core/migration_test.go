@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"cmpnurapid/internal/coherence"
+	"cmpnurapid/internal/memsys"
+)
+
+// These tests cover the stuck-C-copy migration extension (the paper's
+// §3.2 future-work item). Scenario: P0 writes block Y; P1's read moves
+// the single copy to P1's closest d-group b; P2's read then moves it
+// on to d-group c. P1 — who still holds a C tag — now reads Y
+// repeatedly from the remote copy: an ISC read *miss* always relocates
+// the copy, but a C-tag *hit* never does, so under the published
+// design P1 pays farther-d-group latency forever.
+
+func stuckCSetup(t *testing.T, threshold int) (*Cache, memsys.Addr) {
+	t.Helper()
+	cfg := tinyConfig()
+	cfg.CMigrationThreshold = threshold
+	c := New(cfg)
+	Y := memsys.Addr(0x3000)
+	write(c, 0, 0, Y)  // P0: M in a
+	read(c, 100, 1, Y) // P1: C group forms, copy in b
+	read(c, 200, 2, Y) // P2 joins: copy moves on to c
+	if st, dg := c.StateOf(1, Y); st != coherence.Communication || dg != 2 {
+		t.Fatalf("setup: P1 %v/%d, want C pointing at c (remote)", st, dg)
+	}
+	return c, Y
+}
+
+func TestStuckCCopyWithoutMigration(t *testing.T) {
+	c, Y := stuckCSetup(t, 0) // paper's design: no exits out of C
+	now := uint64(300)
+	for i := 0; i < 20; i++ {
+		r := read(c, now, 1, Y)
+		if r.Category != memsys.Hit {
+			t.Fatalf("read %d: %v, want hit", i, r.Category)
+		}
+		if r.ClosestDGroup {
+			t.Fatalf("read %d served from P1's closest d-group; copy should be stuck in c", i)
+		}
+		now += 50
+	}
+	if c.CMigrations != 0 {
+		t.Errorf("CMigrations = %d with the extension off", c.CMigrations)
+	}
+	c.CheckInvariants()
+}
+
+func TestStuckCCopyMigrates(t *testing.T) {
+	const threshold = 4
+	c, Y := stuckCSetup(t, threshold)
+	now := uint64(300)
+	migratedAt := -1
+	for i := 0; i < 20; i++ {
+		r := read(c, now, 1, Y)
+		if r.Category != memsys.Hit {
+			t.Fatalf("read %d: %v, want hit (migration must not cause misses)", i, r.Category)
+		}
+		if r.ClosestDGroup && migratedAt < 0 {
+			migratedAt = i
+		}
+		now += 50
+	}
+	if migratedAt < 0 {
+		t.Fatal("copy never migrated to the active reader")
+	}
+	if migratedAt > threshold+1 {
+		t.Errorf("migration happened at read %d, want within ~%d", migratedAt, threshold)
+	}
+	if c.CMigrations != 1 {
+		t.Errorf("CMigrations = %d, want 1", c.CMigrations)
+	}
+	// The single-copy property must hold: every C tag points at the new
+	// copy in P1's closest d-group b.
+	for _, core := range []int{0, 1, 2} {
+		if st, dg := c.StateOf(core, Y); st != coherence.Communication || dg != 1 {
+			t.Errorf("P%d: %v/%d, want C pointing at d-group b", core, st, dg)
+		}
+	}
+	occ := c.Occupancy()
+	if occ[2] != 0 || occ[1] != 1 {
+		t.Errorf("occupancy %v: old copy must be freed, new in b", occ)
+	}
+	c.CheckInvariants()
+}
+
+func TestMigrationCounterResetsOnLocalRead(t *testing.T) {
+	const threshold = 5
+	c, Y := stuckCSetup(t, threshold)
+	now := uint64(300)
+	// P1 reads remotely threshold-1 times (just under the trigger),
+	// then the producer writes: writes never trigger migration, and
+	// the copy stays where the last reader pulled it.
+	for i := 0; i < threshold-1; i++ {
+		read(c, now, 1, Y)
+		now += 50
+	}
+	w := write(c, now, 0, Y)
+	if w.Category != memsys.Hit {
+		t.Fatalf("producer write: %v", w.Category)
+	}
+	if c.CMigrations != 0 {
+		t.Errorf("write triggered a migration")
+	}
+	c.CheckInvariants()
+}
+
+func TestMigrationUnderInvariantFuzz(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.CMigrationThreshold = 3
+	c := New(cfg)
+	// Reuse the shared fuzz shape: mixed private/RO/RW traffic.
+	now := uint64(0)
+	seed := uint64(0xfeed)
+	next := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int(seed>>33) % n
+	}
+	for i := 0; i < 30000; i++ {
+		coreID := next(4)
+		var addr memsys.Addr
+		switch next(3) {
+		case 0:
+			addr = memsys.Addr(0x10000*(coreID+1) + next(40)*64)
+		case 1:
+			addr = memsys.Addr(0x80000 + next(16)*64)
+		default:
+			addr = memsys.Addr(0x90000 + next(8)*64)
+		}
+		c.Access(now, coreID, addr, next(10) < 3)
+		now += uint64(next(20) + 1)
+		if i%5000 == 0 {
+			c.CheckInvariants()
+		}
+	}
+	c.CheckInvariants()
+	if c.CMigrations == 0 {
+		t.Error("fuzz produced no migrations despite threshold 3 and RW sharing")
+	}
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+
+	"cmpnurapid/internal/bus"
+	"cmpnurapid/internal/coherence"
+	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/topo"
+)
+
+// This file implements CMP-NuRAPID's data-array frame management and
+// the two replacement forms of §3.3.2: data replacement (evicting a
+// block from the cache on a miss, preferring invalid, then private,
+// then shared victims) and distance replacement (demoting blocks to
+// farther d-groups to create space close to a core).
+
+// noPin marks no frame pinned.
+var noPin = ptr{dgroup: -1, frame: -1}
+
+// pinned guards the frame a CR replication or ISC move is copying out
+// of, so the demotion chain clearing space for the new copy cannot
+// evict the source mid-operation. This realizes §3.1's busy-bit: "the
+// tag for the block being read from a farther d-group [is] marked
+// busy ... replacement invalidations will be inhibited until the read
+// has completed."
+func (c *Cache) pin(p ptr) { c.pinnedFrame = p }
+func (c *Cache) unpin()    { c.pinnedFrame = noPin }
+func (c *Cache) pinned(p ptr) bool {
+	return c.pinnedFrame == p
+}
+
+// takeFrame pops a free frame from dg.
+func (c *Cache) takeFrame(g int) int {
+	dg := c.dgroups[g]
+	if len(dg.free) == 0 {
+		panic("core: takeFrame on full d-group")
+	}
+	f := dg.free[len(dg.free)-1]
+	dg.free = dg.free[:len(dg.free)-1]
+	return f
+}
+
+// releaseFrame invalidates p and returns it to the free list.
+func (c *Cache) releaseFrame(p ptr) {
+	dg := c.dgroups[p.dgroup]
+	if !dg.frames[p.frame].valid {
+		panic("core: releasing an already-free frame")
+	}
+	dg.frames[p.frame] = frameInfo{}
+	dg.free = append(dg.free, p.frame)
+}
+
+// frameAt returns the frame record at p.
+func (c *Cache) frameAt(p ptr) *frameInfo { return &c.dgroups[p.dgroup].frames[p.frame] }
+
+// ownerLine returns the tag entry owning frame p (the reverse-pointer
+// target). Panics if the reverse pointer dangles — an invariant
+// violation, not a runtime condition.
+func (c *Cache) ownerLine(p ptr) (int, *tagLine) {
+	fr := c.frameAt(p)
+	if !fr.valid {
+		panic("core: ownerLine of invalid frame")
+	}
+	l := c.tags[fr.revCore].Probe(fr.addr)
+	if l == nil || !l.Data.state.Valid() || l.Data.fwd != p {
+		panic(fmt.Sprintf("core: dangling reverse pointer at %v (addr %#x, rev core %d)",
+			p, fr.addr, fr.revCore))
+	}
+	return fr.revCore, l
+}
+
+// pointersTo returns every core whose tag entry for addr points at p.
+func (c *Cache) pointersTo(addr memsys.Addr, p ptr) []int {
+	var cores []int
+	for o := 0; o < c.cfg.Cores; o++ {
+		if l := c.tags[o].Probe(addr); l != nil && l.Data.state.Valid() && l.Data.fwd == p {
+			cores = append(cores, o)
+		}
+	}
+	return cores
+}
+
+// anyDirtyTag reports whether any tag pointing at p holds it dirty.
+func (c *Cache) anyDirtyTag(addr memsys.Addr, p ptr) bool {
+	for _, o := range c.pointersTo(addr, p) {
+		if l := c.tags[o].Probe(addr); l != nil && l.Data.state.Dirty() {
+			return true
+		}
+	}
+	return false
+}
+
+// evictFrame kills the data copy at p entirely: writes it back if
+// dirty, broadcasts BusRepl when the dying block is shared (so sharers
+// with tag entries pointing at the frame invalidate them, §3.1), and
+// frees the frame.
+func (c *Cache) evictFrame(now uint64, p ptr) {
+	fr := c.frameAt(p)
+	addr := fr.addr
+	holders := c.pointersTo(addr, p)
+	if c.anyDirtyTag(addr, p) {
+		c.Writebacks++
+	}
+	shared := false
+	for _, o := range holders {
+		l := c.tags[o].Probe(addr)
+		if !l.Data.state.PrivateBlock() {
+			shared = true
+		}
+	}
+	if shared {
+		// Replacements proceed in parallel with the miss that triggered
+		// them; BusRepl costs bus bandwidth but not requester latency.
+		c.post(now, bus.BusRepl)
+	}
+	for _, o := range holders {
+		c.killTag(o, c.tags[o].Probe(addr))
+	}
+	c.releaseFrame(p)
+}
+
+// pickVictimFrame returns a random valid, unpinned frame index in
+// d-group g. §3.3.2: the in-d-group choice is random because "LRU
+// requires O(n^2) hardware to track n frames".
+func (c *Cache) pickVictimFrame(g int) int {
+	dg := c.dgroups[g]
+	n := len(dg.frames)
+	for try := 0; try < 8; try++ {
+		vi := c.rand.Intn(n)
+		if dg.frames[vi].valid && !c.pinned(ptr{g, vi}) {
+			return vi
+		}
+	}
+	start := c.rand.Intn(n)
+	for i := 0; i < n; i++ {
+		vi := (start + i) % n
+		if dg.frames[vi].valid && !c.pinned(ptr{g, vi}) {
+			return vi
+		}
+	}
+	panic("core: no evictable frame in d-group")
+}
+
+// freeFrameIn obtains a free frame in d-group g for core, running the
+// distance-replacement demotion chain when g is full: a random private
+// victim is demoted to the next-fastest (for core) d-group, repeating
+// until the stop d-group; random shared victims and victims at the
+// stop d-group are evicted outright, which also ends the chain.
+// stop < 0 means "non-specific": a random stop d-group is drawn from
+// the d-groups farther than the originating one (§3.3.2: "we break
+// this cycle by choosing a d-group at random to stop the demotions" —
+// the cycle being broken is the demotion loop around the farther
+// d-groups, so the originating d-group itself is excluded; stopping
+// there would evict locally even while neighbours sit empty).
+func (c *Cache) freeFrameIn(now uint64, core, g, stop int) int {
+	if stop < 0 {
+		if r := topo.Rank(core, g); r < topo.NumDGroups-1 {
+			stop = topo.Preference[core][r+1+c.rand.Intn(topo.NumDGroups-1-r)]
+		} else {
+			stop = g // already farthest: evict here
+		}
+	}
+	return c.freeFrameRec(now, core, g, stop, 0)
+}
+
+func (c *Cache) freeFrameRec(now uint64, core, g, stop, depth int) int {
+	if depth > topo.NumDGroups {
+		panic("core: demotion chain did not terminate")
+	}
+	dg := c.dgroups[g]
+	if len(dg.free) > 0 {
+		return c.takeFrame(g)
+	}
+	vi := c.pickVictimFrame(g)
+	p := ptr{g, vi}
+	_, owner := c.ownerLine(p)
+	next, hasNext := topo.NextSlower(core, g)
+	// Shared victims are evicted, never demoted (§3.3.2: demoting a
+	// shared block would leave a dangling reverse pointer after a CR
+	// re-copy). Private victims demote unless the chain stops here.
+	if !owner.Data.state.PrivateBlock() || g == stop || !hasNext {
+		c.evictFrame(now, p)
+		return c.takeFrame(g)
+	}
+	nf := c.freeFrameRec(now, core, next, stop, depth+1)
+	c.moveFrame(p, ptr{next, nf})
+	c.stats.Demotions++
+	return c.takeFrame(g)
+}
+
+// moveFrame relocates the (private) block at src into the already-free
+// frame dst, updating the owner tag's forward pointer and the new
+// frame's reverse pointer.
+func (c *Cache) moveFrame(src, dst ptr) {
+	fr := *c.frameAt(src)
+	_, owner := c.ownerLine(src)
+	if !owner.Data.state.PrivateBlock() {
+		panic("core: moveFrame on a shared block")
+	}
+	c.releaseFrame(src)
+	*c.frameAt(dst) = frameInfo{valid: true, addr: fr.addr, revCore: fr.revCore}
+	owner.Data.fwd = dst
+}
+
+// tagVictim selects the replacement victim in core's tag set for addr,
+// in the paper's order: invalid first, then private (E/M), then shared
+// (S/C), LRU within each category (§3.3.2).
+func (c *Cache) tagVictim(core int, addr memsys.Addr) *tagLine {
+	ta := c.tags[core]
+	set := ta.SetIndex(addr)
+	for i := range ta.Set(set) {
+		l := &ta.Set(set)[i]
+		if !l.Valid {
+			return l
+		}
+	}
+	var privLRU, sharedLRU *tagLine
+	ta.LRUOrder(set, func(l *tagLine) bool {
+		if l.Data.state.PrivateBlock() {
+			if privLRU == nil {
+				privLRU = l
+			}
+		} else if sharedLRU == nil {
+			sharedLRU = l
+		}
+		return privLRU == nil || sharedLRU == nil
+	})
+	if privLRU != nil {
+		return privLRU
+	}
+	return sharedLRU
+}
+
+// evictTagEntry removes core's tag entry l from the cache, handling
+// the data-side consequences per §3.3.2, and returns the d-group where
+// a frame was freed (the specific target for distance replacement), or
+// -1 when no frame was freed (pointer-only entries and invalid lines).
+func (c *Cache) evictTagEntry(now uint64, core int, l *tagLine) int {
+	if !l.Valid {
+		return -1
+	}
+	addr := c.tags[core].AddrOf(l)
+	p := l.Data.fwd
+	st := l.Data.state
+	fr := c.frameAt(p)
+	owns := fr.valid && fr.addr == addr && fr.revCore == core
+
+	if st.PrivateBlock() {
+		// Private block: the data is evicted; its frame frees space in
+		// some d-group, which becomes the demotion chain's target.
+		if st == coherence.Modified {
+			c.Writebacks++
+		}
+		c.killTag(core, l)
+		c.releaseFrame(p)
+		return p.dgroup
+	}
+
+	if owns {
+		// Shared block whose data copy we placed: evict the copy and
+		// BusRepl-invalidate every other tag pointing at it.
+		c.killTag(core, l)
+		c.evictFrameSharedRemainder(now, addr, p)
+		return p.dgroup
+	}
+
+	// Shared block reached through someone else's copy: drop only the
+	// tag; "the data block is not evicted and it is left for the other
+	// sharers" (§3.3.2).
+	c.killTag(core, l)
+	return -1
+}
+
+// evictFrameSharedRemainder evicts frame p after its owning tag has
+// already been killed: BusRepl, remaining-pointer invalidation,
+// write-back if a dirty (C) tag still points here.
+func (c *Cache) evictFrameSharedRemainder(now uint64, addr memsys.Addr, p ptr) {
+	if c.anyDirtyTag(addr, p) {
+		c.Writebacks++
+	}
+	c.post(now, bus.BusRepl)
+	for _, o := range c.pointersTo(addr, p) {
+		c.killTag(o, c.tags[o].Probe(addr))
+	}
+	c.releaseFrame(p)
+}
+
+// installTag places a new tag entry for addr in core's array with the
+// given payload, evicting a victim per the data-replacement policy
+// first. When the new entry needs a data frame in core's closest
+// d-group, the caller allocates it via allocClosest (which uses the
+// freed d-group as the demotion target).
+func (c *Cache) installTag(now uint64, core int, addr memsys.Addr, pay tagPayload) *tagLine {
+	v := c.tagVictim(core, addr)
+	c.evictTagEntry(now, core, v)
+	return c.tags[core].Install(v, addr, pay)
+}
+
+// allocClosest evicts a tag victim and allocates a data frame in
+// core's closest d-group for addr, returning the installed tag line.
+// This is the common "bring a block into the cache near me" path used
+// by placement (§3.3.1: "CMP-NuRAPID initially places all private
+// blocks in the data d-group closest to the initiating core").
+func (c *Cache) allocClosest(now uint64, core int, addr memsys.Addr, pay tagPayload) *tagLine {
+	v := c.tagVictim(core, addr)
+	freed := c.evictTagEntry(now, core, v)
+	cl := c.closest(core)
+	nf := c.freeFrameIn(now, core, cl, freed)
+	pay.fwd = ptr{cl, nf}
+	*c.frameAt(pay.fwd) = frameInfo{valid: true, addr: addr, revCore: core}
+	return c.tags[core].Install(v, addr, pay)
+}
+
+// promote applies the CS promotion policy to core's private block l
+// that just hit in a non-closest d-group (§3.3.1).
+func (c *Cache) promote(now uint64, core int, l *tagLine) {
+	if c.cfg.Promotion == NoPromotion {
+		return
+	}
+	cur := l.Data.fwd.dgroup
+	target := c.closest(core)
+	if c.cfg.Promotion == NextFastest {
+		var ok bool
+		target, ok = topo.NextFaster(core, cur)
+		if !ok {
+			return
+		}
+	}
+	if target == cur {
+		return
+	}
+	src := l.Data.fwd
+	dg := c.dgroups[target]
+	if len(dg.free) > 0 {
+		nf := c.takeFrame(target)
+		c.moveFrame(src, ptr{target, nf})
+		c.stats.Promotions++
+		return
+	}
+	// No free frame: swap with a random victim. A private victim
+	// demotes into the promoted block's old frame; a shared victim is
+	// evicted (shared blocks never move, §3.3.1/§3.3.2).
+	vi := c.pickVictimFrame(target)
+	vp := ptr{target, vi}
+	if vp == src {
+		return
+	}
+	_, victimOwner := c.ownerLine(vp)
+	if victimOwner.Data.state.PrivateBlock() {
+		// Swap: move victim out to a scratch ptr first. Using the
+		// source frame directly keeps this a two-assignment swap.
+		vfr := *c.frameAt(vp)
+		sfr := *c.frameAt(src)
+		*c.frameAt(vp) = frameInfo{valid: true, addr: sfr.addr, revCore: sfr.revCore}
+		*c.frameAt(src) = frameInfo{valid: true, addr: vfr.addr, revCore: vfr.revCore}
+		l.Data.fwd = vp
+		victimOwner.Data.fwd = src
+		c.stats.Promotions++
+		c.stats.Demotions++
+		return
+	}
+	c.evictFrame(now, vp)
+	nf := c.takeFrame(target)
+	c.moveFrame(src, ptr{target, nf})
+	c.stats.Promotions++
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cmpnurapid/internal/cmpsim"
+	"cmpnurapid/internal/workload"
+)
+
+// cmpsimSpeedup aliases cmpsim.Speedup for test brevity.
+var cmpsimSpeedup = cmpsim.Speedup
+
+// ablationRC is the smallest scale at which the ablation effects are
+// measurable: the tag arrays and d-groups must actually fill before
+// tag capacity or promotion policy can matter.
+func ablationRC() RunConfig {
+	return RunConfig{WarmupInstr: 3_000_000, Instructions: 1_500_000, Seed: 42}
+}
+
+// TestAblationPromotionOrdering checks §3.3.1: in CMPs the fastest
+// promotion policy beats next-fastest (which beats no promotion),
+// because promoting through intermediate d-groups pollutes other
+// cores' fastest d-groups. Measured on MIX3 (mcf driving heavy
+// capacity stealing).
+func TestAblationPromotionOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation-scale simulation skipped in -short mode")
+	}
+	fastest, next := PromotionSpeedups(ablationRC(), 2)
+	if fastest <= 1.0 {
+		t.Errorf("fastest promotion speedup %.4f not above no-promotion", fastest)
+	}
+	if fastest < next {
+		t.Errorf("fastest (%.4f) below next-fastest (%.4f); paper found the opposite", fastest, next)
+	}
+}
+
+// TestAblationTagCapacity checks §2.2.2: doubling each core's tag
+// capacity performs almost as well as quadrupling (within 1%), while
+// halving it back to 1x visibly trails.
+func TestAblationTagCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation-scale simulation skipped in -short mode")
+	}
+	s := TagCapacitySpeedups(ablationRC(), workload.OLTP(42))
+	x1, x2, x4 := s[0], s[1], s[2]
+	if x2 < x4*0.99 {
+		t.Errorf("2x tags (%.4f) not within 1%% of 4x (%.4f); paper: 'almost as well'", x2, x4)
+	}
+	if x1 > x2*0.98 {
+		t.Errorf("1x tags (%.4f) suspiciously close to 2x (%.4f); extra tag space should matter", x1, x2)
+	}
+}
+
+// TestSizeSensitivityShape checks the capacity sweep is well-formed
+// and that CMP-NuRAPID beats the same-size uniform-shared cache at
+// the paper's 8 MB point.
+func TestSizeSensitivityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity simulation skipped in -short mode")
+	}
+	rc := RunConfig{WarmupInstr: 2_000_000, Instructions: 1_000_000, Seed: 42}
+	priv, nur := SizeSpeedups(rc, 8)
+	if nur <= 1 || nur <= priv*0.95 {
+		t.Errorf("8 MB point broken: private %.3f, NuRAPID %.3f", priv, nur)
+	}
+}
+
+// TestSeedOrderingStable checks the Figure 10 ordering holds across
+// seeds (the reproduction's analogue of the paper's variability runs).
+func TestSeedOrderingStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity simulation skipped in -short mode")
+	}
+	rc := RunConfig{WarmupInstr: 1_500_000, Instructions: 700_000, Seed: 0}
+	if !SeedOrderingStable(rc, []uint64{7, 1234, 999999}) {
+		t.Error("CMP-NuRAPID > private > uniform-shared ordering unstable across seeds")
+	}
+}
+
+// TestUpdateProtocolTradeoffs checks §3.2's argument end to end on
+// OLTP: the update protocol and ISC both beat invalidate-based private
+// caches on RWS-heavy sharing, but CMP-NuRAPID (ISC) beats the update
+// protocol, which pays a bus broadcast per shared write and a copy per
+// sharer.
+func TestUpdateProtocolTradeoffs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation-scale simulation skipped in -short mode")
+	}
+	rc := RunConfig{WarmupInstr: 2_500_000, Instructions: 1_200_000, Seed: 42}
+	inv, upd, isc := UpdateProtocolSpeedups(rc, workload.OLTP(rc.Seed))
+	if isc <= upd {
+		t.Errorf("ISC (%.3f) not above update protocol (%.3f); §3.2's argument should hold", isc, upd)
+	}
+	if inv <= 1 || upd <= 1 {
+		t.Errorf("degenerate: invalidate %.3f update %.3f", inv, upd)
+	}
+}
+
+// TestDNUCALosesToSNUCA reproduces [6]'s negative result the paper
+// relies on ("[6] shows realistic CMP-DNUCA to perform worse than
+// CMP-SNUCA"): under heavy sharing, migration's incremental search and
+// block tug-of-war cost more than static placement saves.
+func TestDNUCALosesToSNUCA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation-scale simulation skipped in -short mode")
+	}
+	rc := RunConfig{WarmupInstr: 2_000_000, Instructions: 1_000_000, Seed: 42}
+	p := workload.OLTP(rc.Seed)
+	base := RunProfile(UniformShared, p, rc)
+	snuca := cmpsimSpeedup(RunProfile(NonUniform, p, rc), base)
+	dnuca := cmpsimSpeedup(RunProfile(DNUCA, p, rc), base)
+	if dnuca >= snuca {
+		t.Errorf("CMP-DNUCA (%.3f) not below CMP-SNUCA (%.3f); [6]'s result should reproduce", dnuca, snuca)
+	}
+}
+
+// TestDemotionBandwidthClaim checks §3.3.2: "the demotions are not
+// frequent enough to cause a bandwidth problem" — a handful per
+// thousand instructions, not per ten.
+func TestDemotionBandwidthClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation-scale simulation skipped in -short mode")
+	}
+	rc := RunConfig{WarmupInstr: 2_000_000, Instructions: 1_000_000, Seed: 42}
+	// MIX1's non-uniform demand drives capacity stealing; multithreaded
+	// workloads replace frame-for-frame in the closest d-group and
+	// rarely demote at all.
+	rate := DemotionsPer1K(rc, workload.Mixes(rc.Seed)[0])
+	if rate > 50 {
+		t.Errorf("demotion rate %.2f per 1000 instructions contradicts the bandwidth claim", rate)
+	}
+	if rate == 0 {
+		t.Error("no demotions at all; capacity stealing inactive")
+	}
+}
+
+func TestBandwidthReportRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	rc := RunConfig{WarmupInstr: 100_000, Instructions: 100_000, Seed: 1}
+	s := BandwidthReport(rc).String()
+	if len(s) < 100 {
+		t.Errorf("bandwidth report suspicious:\n%s", s)
+	}
+}
+
+// TestCapacityReportShowsStealing checks the §3.3 allocation story on
+// MIX3 directly: the cache-hungry app (mcf, core 1) must hold frames
+// outside its own d-group, while the small apps (gzip, mesa) stay home.
+func TestCapacityReportShowsStealing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation-scale simulation skipped in -short mode")
+	}
+	rc := RunConfig{WarmupInstr: 2_000_000, Instructions: 500_000, Seed: 42}
+	s := CapacityReport(rc, 2).String()
+	if len(s) < 100 {
+		t.Fatalf("capacity report suspicious:\n%s", s)
+	}
+	if !containsAll(s, "mcf", "gzip", "mesa", "apsi") {
+		t.Errorf("capacity report missing apps:\n%s", s)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, x := range subs {
+		if !strings.Contains(s, x) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"cmpnurapid/internal/cmpsim"
+	"cmpnurapid/internal/core"
+	"cmpnurapid/internal/stats"
+	"cmpnurapid/internal/workload"
+)
+
+// This file regenerates the design-choice ablations DESIGN.md calls
+// out: promotion policy (§3.3.1 prefers fastest in CMPs), tag-array
+// capacity (§2.2.2 doubles instead of quadrupling), the CR replication
+// trigger (§3.1 copies on the second use), and the CR/ISC optimization
+// matrix (§5.1.2).
+
+// runNuRAPIDVariant runs a workload on a CMP-NuRAPID with the config
+// mutated by mut, returning the results.
+func runNuRAPIDVariant(w cmpsim.Workload, rc RunConfig, mut func(*core.Config)) cmpsim.Results {
+	cfg := core.DefaultConfig()
+	mut(&cfg)
+	sys := cmpsim.New(cmpsim.DefaultConfig(), core.New(cfg), w)
+	sys.Warmup(rc.WarmupInstr)
+	return sys.Run(rc.Instructions)
+}
+
+// AblationPromotion compares the fastest and next-fastest promotion
+// policies (and no promotion) on the multiprogrammed mixes, where
+// capacity stealing matters most. The paper found fastest more
+// effective in CMPs because "one core's next-fastest d-group is
+// another core's fastest" (§3.3.1).
+func AblationPromotion(rc RunConfig) *stats.Table {
+	t := stats.NewTable("Ablation: CS promotion policy (weighted speedup vs no promotion)",
+		"Workload", "fastest", "next-fastest")
+	policies := []core.PromotionPolicy{core.Fastest, core.NextFastest}
+	for i, mixName := range []string{"MIX1", "MIX2", "MIX3", "MIX4"} {
+		base := runNuRAPIDVariant(workload.Mixes(rc.Seed)[i], rc,
+			func(c *core.Config) { c.Promotion = core.NoPromotion })
+		row := []string{mixName}
+		for _, p := range policies {
+			r := runNuRAPIDVariant(workload.Mixes(rc.Seed)[i], rc,
+				func(c *core.Config) { c.Promotion = p })
+			row = append(row, stats.Rel(cmpsim.Speedup(r, base)))
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// PromotionSpeedups returns (fastest, nextFastest) weighted speedups
+// over no-promotion for one mix, for tests.
+func PromotionSpeedups(rc RunConfig, mixIdx int) (fastest, nextFastest float64) {
+	base := runNuRAPIDVariant(workload.Mixes(rc.Seed)[mixIdx], rc,
+		func(c *core.Config) { c.Promotion = core.NoPromotion })
+	f := runNuRAPIDVariant(workload.Mixes(rc.Seed)[mixIdx], rc,
+		func(c *core.Config) { c.Promotion = core.Fastest })
+	n := runNuRAPIDVariant(workload.Mixes(rc.Seed)[mixIdx], rc,
+		func(c *core.Config) { c.Promotion = core.NextFastest })
+	return cmpsim.Speedup(f, base), cmpsim.Speedup(n, base)
+}
+
+// AblationTagCapacity compares 1x, 2x, and 4x tag-array capacity on
+// the commercial workloads. The paper found doubling performs almost
+// as well as quadrupling at a quarter of the capacity overhead
+// (§2.2.2).
+func AblationTagCapacity(rc RunConfig) *stats.Table {
+	t := stats.NewTable("Ablation: private tag capacity (speedup vs uniform-shared)",
+		"Workload", "1x tags", "2x tags (paper)", "4x tags")
+	factors := []int{1, 2, 4}
+	for _, p := range workload.Commercial(rc.Seed) {
+		base := RunProfile(UniformShared, p, rc)
+		row := []string{p.Name}
+		for _, f := range factors {
+			fac := f
+			pp := p
+			pp.Seed = rc.Seed
+			r := runNuRAPIDVariant(workload.New(pp), rc, func(c *core.Config) {
+				c.TagSets = c.TagSets * fac / 2 // default is the 2x config
+			})
+			row = append(row, stats.Rel(cmpsim.Speedup(r, base)))
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// TagCapacitySpeedups returns the speedups over uniform-shared for
+// 1x/2x/4x tags on one commercial workload, for tests.
+func TagCapacitySpeedups(rc RunConfig, p workload.Profile) [3]float64 {
+	base := RunProfile(UniformShared, p, rc)
+	var out [3]float64
+	for i, f := range []int{1, 2, 4} {
+		fac := f
+		pp := p
+		pp.Seed = rc.Seed
+		r := runNuRAPIDVariant(workload.New(pp), rc, func(c *core.Config) {
+			c.TagSets = c.TagSets * fac / 2
+		})
+		out[i] = cmpsim.Speedup(r, base)
+	}
+	return out
+}
+
+// AblationReplicationTrigger compares replicating on first use, second
+// use (CR), and never, on the commercial workloads (§3.1: not copying
+// on the first use saves capacity for the ~40% of blocks never
+// reused; copying on the second avoids slow repeat accesses).
+func AblationReplicationTrigger(rc RunConfig) *stats.Table {
+	t := stats.NewTable("Ablation: CR replication trigger (speedup vs uniform-shared)",
+		"Workload", "first use", "second use (CR)", "never")
+	pols := []core.ReplicationPolicy{
+		core.ReplicateFirstUse, core.ReplicateSecondUse, core.ReplicateNever,
+	}
+	for _, p := range workload.Commercial(rc.Seed) {
+		base := RunProfile(UniformShared, p, rc)
+		row := []string{p.Name}
+		for _, pol := range pols {
+			pol := pol
+			pp := p
+			pp.Seed = rc.Seed
+			r := runNuRAPIDVariant(workload.New(pp), rc, func(c *core.Config) {
+				c.Replication = pol
+			})
+			row = append(row, stats.Rel(cmpsim.Speedup(r, base)))
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// AblationCMigration evaluates the stuck-C-copy migration extension
+// (the paper's §3.2 future-work item) on the commercial workloads:
+// threshold 0 is the published design; small thresholds let a copy
+// abandoned by its host migrate to the reader still using it.
+func AblationCMigration(rc RunConfig) *stats.Table {
+	t := stats.NewTable("Extension: stuck-C-copy migration (speedup vs uniform-shared)",
+		"Workload", "off (paper)", "threshold 4", "threshold 16")
+	for _, p := range workload.Commercial(rc.Seed) {
+		base := RunProfile(UniformShared, p, rc)
+		row := []string{p.Name}
+		for _, th := range []int{0, 4, 16} {
+			th := th
+			pp := p
+			pp.Seed = rc.Seed
+			r := runNuRAPIDVariant(workload.New(pp), rc, func(c *core.Config) {
+				c.CMigrationThreshold = th
+			})
+			row = append(row, stats.Rel(cmpsim.Speedup(r, base)))
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// AblationUpdateProtocol pits in-situ communication against the
+// update-protocol alternative §3.2 dismisses: both avoid coherence
+// misses on read-write sharing, but the update protocol pays a bus
+// broadcast per shared write and keeps a copy per sharer, while ISC
+// keeps one copy and posts invalidations only for L1 freshness.
+func AblationUpdateProtocol(rc RunConfig) *stats.Table {
+	t := stats.NewTable("Extension: invalidate vs update vs ISC (speedup vs uniform-shared)",
+		"Workload", "private (invalidate)", "private-update", "CMP-NuRAPID (ISC)")
+	for _, p := range workload.Commercial(rc.Seed) {
+		base := RunProfile(UniformShared, p, rc)
+		row := []string{p.Name}
+		for _, d := range []DesignName{Private, PrivateUpdate, NuRAPID} {
+			r := RunProfile(d, p, rc)
+			row = append(row, stats.Rel(cmpsim.Speedup(r, base)))
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+// UpdateProtocolSpeedups returns (invalidate, update, isc) speedups on
+// one workload, for tests.
+func UpdateProtocolSpeedups(rc RunConfig, p workload.Profile) (inv, upd, isc float64) {
+	base := RunProfile(UniformShared, p, rc)
+	return cmpsim.Speedup(RunProfile(Private, p, rc), base),
+		cmpsim.Speedup(RunProfile(PrivateUpdate, p, rc), base),
+		cmpsim.Speedup(RunProfile(NuRAPID, p, rc), base)
+}
+
+// AblationOptimizations crosses CR and ISC on the commercial workloads
+// (Figure 8's one-at-a-time runs, completed to the full 2x2 matrix).
+func AblationOptimizations(rc RunConfig) *stats.Table {
+	t := stats.NewTable("Ablation: CR x ISC (speedup vs uniform-shared)",
+		"Workload", "neither", "CR only", "ISC only", "both")
+	type variant struct {
+		repl core.ReplicationPolicy
+		isc  bool
+	}
+	variants := []variant{
+		{core.ReplicateFirstUse, false},
+		{core.ReplicateSecondUse, false},
+		{core.ReplicateFirstUse, true},
+		{core.ReplicateSecondUse, true},
+	}
+	for _, p := range workload.Commercial(rc.Seed) {
+		base := RunProfile(UniformShared, p, rc)
+		row := []string{p.Name}
+		for _, v := range variants {
+			v := v
+			pp := p
+			pp.Seed = rc.Seed
+			r := runNuRAPIDVariant(workload.New(pp), rc, func(c *core.Config) {
+				c.Replication = v.repl
+				c.EnableISC = v.isc
+			})
+			row = append(row, stats.Rel(cmpsim.Speedup(r, base)))
+		}
+		t.Row(row...)
+	}
+	return t
+}

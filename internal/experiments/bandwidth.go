@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cmpnurapid/internal/cmpsim"
+	"cmpnurapid/internal/core"
+	"cmpnurapid/internal/l2"
+	"cmpnurapid/internal/stats"
+	"cmpnurapid/internal/workload"
+)
+
+// BandwidthReport quantifies the traffic claims the paper makes
+// without a figure:
+//
+//   - §3.3.2: "the demotions are not frequent enough to cause a
+//     bandwidth problem in the tag arrays or data d-groups" — reported
+//     as demotions per 1 000 retired instructions.
+//   - §3.2: "write through for C blocks is not likely to cause
+//     bandwidth problems" — reported as write-throughs and posted
+//     BusUpg invalidations per 1 000 instructions.
+//   - Bus health overall: transactions per 1 000 instructions and
+//     cumulative arbitration wait.
+func BandwidthReport(rc RunConfig) *stats.Table {
+	t := stats.NewTable("Bandwidth: bus and d-group traffic per 1000 instructions",
+		"Workload", "Design", "Bus txns", "Bus wait cyc", "Demotions", "Promotions", "Write-throughs")
+
+	type run struct {
+		name string
+		mk   func() cmpsim.Workload
+	}
+	runs := []run{
+		// OLTP exercises the write-through/BusUpg claim; MIX1 (non-
+		// uniform demand) exercises the demotion-bandwidth claim.
+		{"oltp", func() cmpsim.Workload { return workload.New(workload.OLTP(rc.Seed)) }},
+		{"MIX1", func() cmpsim.Workload { return workload.Mixes(rc.Seed)[0] }},
+	}
+	for _, rn := range runs {
+		for _, d := range []DesignName{Private, NuRAPID} {
+			sys := cmpsim.New(cmpsim.DefaultConfig(), NewDesign(d), rn.mk())
+			sys.Warmup(rc.WarmupInstr)
+			r := sys.Run(rc.Instructions)
+
+			per1k := func(n uint64) string {
+				return fmt.Sprintf("%.2f", 1000*float64(n)/float64(r.Instructions))
+			}
+			var busTx, busWait uint64
+			switch l2d := sys.L2().(type) {
+			case *core.Cache:
+				busTx, busWait = l2d.Bus().TotalTransactions(), l2d.Bus().WaitCycles()
+			case *l2.Private:
+				busTx, busWait = l2d.Bus().TotalTransactions(), l2d.Bus().WaitCycles()
+			}
+			var wt uint64
+			for _, c := range r.Cores {
+				wt += c.Writethroughs
+			}
+			s := r.L2
+			t.Row(rn.name, string(d), per1k(busTx), fmt.Sprint(busWait),
+				per1k(s.Demotions), per1k(s.Promotions), per1k(wt))
+		}
+	}
+	return t
+}
+
+// DemotionsPer1K returns CMP-NuRAPID's demotion rate on a workload,
+// for the §3.3.2 bandwidth-claim test.
+func DemotionsPer1K(rc RunConfig, w cmpsim.Workload) float64 {
+	sys := cmpsim.New(cmpsim.DefaultConfig(), NewDesign(NuRAPID), w)
+	sys.Warmup(rc.WarmupInstr)
+	r := sys.Run(rc.Instructions)
+	return 1000 * float64(r.L2.Demotions) / float64(r.Instructions)
+}
+
+// DNUCAComparison extends Figure 6 with the CMP-DNUCA baseline [6]
+// whose negative result the paper cites.
+func DNUCAComparison(rc RunConfig) *stats.Table {
+	t := stats.NewTable("Extension: CMP-DNUCA vs CMP-SNUCA vs CMP-NuRAPID (speedup vs uniform-shared)",
+		"Workload", "SNUCA (static)", "DNUCA (migration)", "CMP-NuRAPID")
+	for _, p := range workload.Commercial(rc.Seed) {
+		base := RunProfile(UniformShared, p, rc)
+		row := []string{p.Name}
+		for _, d := range []DesignName{NonUniform, DNUCA, NuRAPID} {
+			r := RunProfile(d, p, rc)
+			row = append(row, stats.Rel(cmpsim.Speedup(r, base)))
+		}
+		t.Row(row...)
+	}
+	return t
+}

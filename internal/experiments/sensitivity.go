@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cmpnurapid/internal/bus"
+	"cmpnurapid/internal/cmpsim"
+	"cmpnurapid/internal/core"
+	"cmpnurapid/internal/l2"
+	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/stats"
+	"cmpnurapid/internal/topo"
+	"cmpnurapid/internal/workload"
+)
+
+// This file extends the evaluation with sensitivity studies the paper
+// motivates but does not run: total L2 capacity (the latency–capacity
+// tradeoff CMP-NuRAPID navigates shifts with cache size) and workload
+// seed (the paper injects random perturbations and reruns, §4.3).
+
+// SizedDesign constructs one of the three principal designs at an
+// alternative total capacity, with latencies re-derived from the
+// timing model at that geometry.
+func SizedDesign(d DesignName, totalBytes int) memsys.L2 {
+	dgroupBytes := totalBytes / topo.NumDGroups
+	lat := topo.DeriveWith(dgroupBytes)
+	switch d {
+	case UniformShared:
+		return l2.NewShared("uniform-shared", totalBytes, topo.SharedAssoc,
+			topo.BlockBytes, lat.SharedTotal, 300)
+	case Private:
+		return l2.NewPrivateWith(dgroupBytes, topo.PrivateAssoc, topo.BlockBytes,
+			lat.PrivateTotal, bus.Config{Latency: lat.Bus, SlotCycles: 4}, 300)
+	case NuRAPID:
+		cfg := core.DefaultConfig()
+		cfg.TagSets = 2 * (dgroupBytes / (topo.BlockBytes * topo.PrivateAssoc))
+		cfg.DGroupFrames = dgroupBytes / topo.BlockBytes
+		cfg.TagLatency = lat.NuRAPIDTag
+		cfg.DGroupLat = lat.DGroupData
+		cfg.DGroupOccupancy = lat.PrivateData
+		cfg.Bus = bus.Config{Latency: lat.Bus, SlotCycles: 4}
+		return core.New(cfg)
+	}
+	panic(fmt.Sprintf("experiments: SizedDesign does not support %q", d))
+}
+
+// SizeSensitivity sweeps the total L2 capacity on one commercial
+// workload and reports each design's speedup over the same-size
+// uniform-shared cache. Smaller caches raise capacity pressure (CR's
+// territory); larger ones leave latency as the only differentiator.
+func SizeSensitivity(rc RunConfig, totalsMB []int) *stats.Table {
+	header := []string{"Total L2"}
+	for _, d := range []DesignName{Private, NuRAPID} {
+		header = append(header, string(d))
+	}
+	t := stats.NewTable("Sensitivity: total L2 capacity (speedup vs same-size uniform-shared, OLTP)", header...)
+	for _, mb := range totalsMB {
+		total := mb << 20
+		row := []string{fmt.Sprintf("%d MB", mb)}
+		base := runSized(UniformShared, total, rc)
+		for _, d := range []DesignName{Private, NuRAPID} {
+			r := runSized(d, total, rc)
+			row = append(row, stats.Rel(cmpsim.Speedup(r, base)))
+		}
+		t.Row(row...)
+	}
+	return t
+}
+
+func runSized(d DesignName, totalBytes int, rc RunConfig) cmpsim.Results {
+	p := workload.OLTP(rc.Seed)
+	sys := cmpsim.New(cmpsim.DefaultConfig(), SizedDesign(d, totalBytes), workload.New(p))
+	sys.Warmup(rc.WarmupInstr)
+	return sys.Run(rc.Instructions)
+}
+
+// SizeSpeedups returns (private, nurapid) speedups over uniform-shared
+// at one capacity, for tests.
+func SizeSpeedups(rc RunConfig, totalMB int) (private, nurapid float64) {
+	total := totalMB << 20
+	base := runSized(UniformShared, total, rc)
+	return cmpsim.Speedup(runSized(Private, total, rc), base),
+		cmpsim.Speedup(runSized(NuRAPID, total, rc), base)
+}
+
+// SeedSensitivity reruns the Figure 10 headline comparison across
+// seeds and reports each design's commercial-average speedup per seed;
+// the orderings must be stable for the reproduction's claims to mean
+// anything (the paper likewise accounts for multithreaded variability
+// by rerunning with perturbations, §4.3).
+func SeedSensitivity(rc RunConfig, seeds []uint64) *stats.Table {
+	t := stats.NewTable("Sensitivity: workload seed (commercial-avg speedup vs uniform-shared)",
+		"Seed", "private", "CMP-NuRAPID", "ideal")
+	for _, seed := range seeds {
+		rcs := rc
+		rcs.Seed = seed
+		e := NewEval(rcs)
+		t.Row(fmt.Sprint(seed),
+			stats.Rel(e.Speedup(Private)),
+			stats.Rel(e.Speedup(NuRAPID)),
+			stats.Rel(e.Speedup(Ideal)))
+	}
+	return t
+}
+
+// SeedOrderingStable reports whether NuRAPID > private > 1 holds for
+// every seed (used by tests).
+func SeedOrderingStable(rc RunConfig, seeds []uint64) bool {
+	for _, seed := range seeds {
+		rcs := rc
+		rcs.Seed = seed
+		e := NewEval(rcs)
+		nur, priv := e.Speedup(NuRAPID), e.Speedup(Private)
+		if !(nur > priv && priv > 1) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,48 @@
+package l2
+
+import (
+	"testing"
+
+	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/rng"
+)
+
+func BenchmarkSharedAccess(b *testing.B) {
+	s := NewUniformShared()
+	r := rng.New(1)
+	now := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Access(now, r.Intn(4), memsys.Addr(r.Intn(1<<16)*128), r.Bool(0.3))
+		now += 10
+	}
+}
+
+func BenchmarkSNUCAAccess(b *testing.B) {
+	s := NewSNUCA()
+	r := rng.New(1)
+	now := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Access(now, r.Intn(4), memsys.Addr(r.Intn(1<<16)*128), r.Bool(0.3))
+		now += 10
+	}
+}
+
+func BenchmarkPrivateAccess(b *testing.B) {
+	p := NewPrivate()
+	r := rng.New(1)
+	now := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core := r.Intn(4)
+		var addr memsys.Addr
+		if r.Bool(0.7) {
+			addr = memsys.Addr(0x100000*(core+1) + r.Intn(8192)*128)
+		} else {
+			addr = memsys.Addr(0x800000 + r.Intn(1024)*128)
+		}
+		p.Access(now, core, addr, r.Bool(0.3))
+		now += 10
+	}
+}

@@ -1,0 +1,224 @@
+package l2
+
+import (
+	"fmt"
+
+	"cmpnurapid/internal/bus"
+	"cmpnurapid/internal/cache"
+	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/topo"
+)
+
+// DNUCA models CMP-DNUCA from [6]: a banked shared cache where blocks
+// *migrate* between banks toward their requesters (no replication —
+// one copy per block, like SNUCA). The paper cites [6]'s negative
+// result — "realistic CMP-DNUCA [performs] worse than CMP-SNUCA" and
+// "migration is ineffective in the presence of sharing because each
+// sharer pulls the block toward it, leaving the block in the middle,
+// far away from all the sharers" — and this model lets the repository
+// demonstrate both effects:
+//
+//   - Migration is bankset-restricted, as in [6]: a block may only
+//     live in the banks of its address's bankset (half the banks
+//     here), so — unlike CMP-NuRAPID's distance associativity — a core
+//     can never gather all its hot blocks in its closest bank.
+//   - A lookup *searches* the bankset: banks are probed in the
+//     requester's preference order, each wrong probe costing a full
+//     bank round-trip (the incremental search that makes realistic
+//     DNUCA slow; the requester cannot know where migration left the
+//     block).
+//   - A hit in a non-preferred bank migrates the block toward the
+//     requester within its bankset, swapping with a victim when the
+//     target bank is full. Sharers pulling in different directions
+//     bounce the block back and forth.
+type DNUCA struct {
+	banks      []*cache.Array[sharedPayload]
+	ports      []bus.Port
+	lat        [topo.NumCores][topo.NumDGroups]int
+	memLatency int
+	stats      *memsys.L2Stats
+	l1inv      func(core int, addr memsys.Addr)
+	// Migrations counts inter-bank block moves.
+	Migrations uint64
+}
+
+// NewDNUCA builds the paper-scale configuration: the SNUCA geometry
+// plus migration and incremental search.
+func NewDNUCA() *DNUCA {
+	l := topo.Derive()
+	return NewDNUCAWith(topo.DGroupBytes, topo.PrivateAssoc, topo.BlockBytes,
+		l.DGroupData, SNUCANetOverhead, 300)
+}
+
+// NewDNUCAWith builds a DNUCA with explicit geometry and timing.
+func NewDNUCAWith(bankBytes, ways, blockBytes int, dist [topo.NumCores][topo.NumDGroups]int, netOverhead, memLatency int) *DNUCA {
+	d := &DNUCA{
+		ports:      make([]bus.Port, topo.NumDGroups),
+		memLatency: memLatency,
+		stats:      memsys.NewL2Stats(),
+	}
+	for c := 0; c < topo.NumCores; c++ {
+		for b := 0; b < topo.NumDGroups; b++ {
+			d.lat[c][b] = dist[c][b] + netOverhead
+		}
+	}
+	for b := 0; b < topo.NumDGroups; b++ {
+		d.banks = append(d.banks, cache.NewArray[sharedPayload](
+			cache.GeometryFor(bankBytes, ways, blockBytes)))
+	}
+	return d
+}
+
+// Name implements memsys.L2.
+func (d *DNUCA) Name() string { return "non-uniform-shared-dynamic" }
+
+// Stats implements memsys.L2.
+func (d *DNUCA) Stats() *memsys.L2Stats { return d.stats }
+
+// SetL1Invalidate implements memsys.L1Invalidator.
+func (d *DNUCA) SetL1Invalidate(fn func(core int, addr memsys.Addr)) { d.l1inv = fn }
+
+func (d *DNUCA) blockBytes() int { return d.banks[0].Geometry().BlockBytes }
+
+// bankset returns the banks addr may live in, ordered by the
+// requester's preference. With four banks there are two banksets —
+// diagonal pairs {a,d} and {b,c} — so every core has one bankset whose
+// nearest member is its closest bank and one whose members are both a
+// middle-distance hop away.
+func (d *DNUCA) bankset(core int, addr memsys.Addr) [2]int {
+	bit := int(uint64(addr)>>uint(log2i(d.blockBytes()))) & 1
+	var set [2]int
+	if bit == 0 {
+		set = [2]int{0, 3} // a, d
+	} else {
+		set = [2]int{1, 2} // b, c
+	}
+	if d.lat[core][set[1]] < d.lat[core][set[0]] {
+		set[0], set[1] = set[1], set[0]
+	}
+	return set
+}
+
+func log2i(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// BankOf returns the bank currently holding addr, or -1 (exposed for
+// tests and the migration analysis).
+func (d *DNUCA) BankOf(addr memsys.Addr) int {
+	addr = addr.BlockAddr(d.blockBytes())
+	for b, arr := range d.banks {
+		if arr.Probe(addr) != nil {
+			return b
+		}
+	}
+	return -1
+}
+
+// Access implements memsys.L2: incremental search of the bankset in
+// the requester's preference order, migration toward the requester on
+// a hit in the less-preferred bank.
+func (d *DNUCA) Access(now uint64, core int, addr memsys.Addr, write bool) memsys.Result {
+	addr = addr.BlockAddr(d.blockBytes())
+	set := d.bankset(core, addr)
+	lat := 0
+	for i, b := range set {
+		if l := d.banks[b].Probe(addr); l != nil {
+			d.banks[b].Touch(l)
+			start := d.ports[b].Acquire(now+uint64(lat), snucaSlotCycles)
+			lat += int(start-(now+uint64(lat))) + d.lat[core][b]
+			closest := b == topo.Closest(core)
+			if i > 0 {
+				d.migrate(addr, b, set[0])
+			}
+			res := memsys.Result{Latency: lat, Category: memsys.Hit, DGroup: b,
+				ClosestDGroup: closest}
+			d.stats.RecordAccess(res)
+			return res
+		}
+		// A wrong probe costs a full round to that bank: the requester
+		// cannot know where migration left the block.
+		lat += d.lat[core][b]
+	}
+
+	// Miss: place in the bankset's bank nearest the requester.
+	d.stats.OffChipMisses++
+	lat += d.memLatency
+	d.install(addr, set[0])
+	res := memsys.Result{Latency: lat, Category: memsys.CapacityMiss, DGroup: -1}
+	d.stats.RecordAccess(res)
+	_ = write
+	return res
+}
+
+// migrate moves addr from bank `from` to bank `to` within its bankset,
+// swapping with a victim when the target is full.
+func (d *DNUCA) migrate(addr memsys.Addr, from, to int) {
+	if to == from {
+		return
+	}
+	src := d.banks[from].Probe(addr)
+	if src == nil {
+		return
+	}
+	d.banks[from].Invalidate(src)
+	// Displaced victim (if any) moves to the vacated slot in `from` —
+	// the swap that keeps occupancy constant.
+	v := d.banks[to].Victim(addr)
+	if v.Valid {
+		displaced := d.banks[to].AddrOf(v)
+		d.banks[to].Invalidate(v)
+		fv := d.banks[from].Victim(displaced)
+		if fv.Valid {
+			// Conflict in the vacated set: evict outright (inclusion).
+			d.evict(d.banks[from].AddrOf(fv))
+			d.banks[from].Invalidate(fv)
+		}
+		d.banks[from].Install(fv, displaced, sharedPayload{})
+	}
+	nv := d.banks[to].Victim(addr)
+	if nv.Valid {
+		d.evict(d.banks[to].AddrOf(nv))
+		d.banks[to].Invalidate(nv)
+	}
+	d.banks[to].Install(nv, addr, sharedPayload{})
+	d.Migrations++
+}
+
+// install places addr into bank b, evicting as needed.
+func (d *DNUCA) install(addr memsys.Addr, b int) {
+	v := d.banks[b].Victim(addr)
+	if v.Valid {
+		d.evict(d.banks[b].AddrOf(v))
+	}
+	d.banks[b].Install(v, addr, sharedPayload{})
+}
+
+// evict preserves inclusion for a dying block.
+func (d *DNUCA) evict(addr memsys.Addr) {
+	if d.l1inv != nil {
+		for c := 0; c < topo.NumCores; c++ {
+			d.l1inv(c, addr)
+		}
+	}
+}
+
+// CheckInvariants verifies the single-copy property: no block appears
+// in two banks.
+func (d *DNUCA) CheckInvariants() {
+	seen := map[memsys.Addr]int{}
+	for b, arr := range d.banks {
+		arr.ForEach(func(_ int, l *cache.Line[sharedPayload]) {
+			a := arr.AddrOf(l)
+			if prev, dup := seen[a]; dup {
+				panic(fmt.Sprintf("l2: DNUCA block %#x duplicated in banks %d and %d", a, prev, b))
+			}
+			seen[a] = b
+		})
+	}
+}

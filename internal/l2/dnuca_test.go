@@ -1,0 +1,159 @@
+package l2
+
+import (
+	"testing"
+
+	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/rng"
+	"cmpnurapid/internal/topo"
+)
+
+func smallDNUCA() *DNUCA {
+	var dist [topo.NumCores][topo.NumDGroups]int
+	for c := 0; c < topo.NumCores; c++ {
+		for g := 0; g < topo.NumDGroups; g++ {
+			dist[c][g] = 2 + 7*topo.Distance(c, g)
+		}
+	}
+	return NewDNUCAWith(4<<10, 4, 64, dist, 10, 300)
+}
+
+func TestDNUCAMissPlacesInBanksetNearestBank(t *testing.T) {
+	d := smallDNUCA()
+	a := memsys.Addr(0x1000)
+	r := d.Access(0, 2, a, false)
+	if r.Category != memsys.CapacityMiss {
+		t.Fatalf("cold: %v", r.Category)
+	}
+	set := d.bankset(2, a)
+	if got := d.BankOf(a); got != set[0] {
+		t.Errorf("block placed in bank %d, want the bankset's nearest %d", got, set[0])
+	}
+	d.CheckInvariants()
+}
+
+// TestDNUCABanksetRestriction is the structural limitation [6]'s
+// design carries and CMP-NuRAPID removes: for every core, one of the
+// two banksets has no member in the core's closest bank, so those
+// blocks can never be gathered next to the core.
+func TestDNUCABanksetRestriction(t *testing.T) {
+	d := smallDNUCA()
+	for core := 0; core < topo.NumCores; core++ {
+		withClosest := 0
+		for bit := 0; bit < 2; bit++ {
+			a := memsys.Addr(bit * 64)
+			set := d.bankset(core, a)
+			if set[0] == topo.Closest(core) || set[1] == topo.Closest(core) {
+				withClosest++
+			}
+		}
+		if withClosest != 1 {
+			t.Errorf("core %d: %d banksets include its closest bank, want exactly 1", core, withClosest)
+		}
+	}
+}
+
+func TestDNUCAMigrationTowardRequester(t *testing.T) {
+	d := smallDNUCA()
+	a := memsys.Addr(0x1000) // bankset {a, d}
+	d.Access(0, 0, a, false) // placed in a (P0's nearest in the set)
+	// P3 reads: the block migrates to d (P3's nearest in the set).
+	d.Access(100, 3, a, false)
+	d.Access(200, 3, a, false)
+	set := d.bankset(3, a)
+	if got := d.BankOf(a); got != set[0] {
+		t.Errorf("after P3 reads, block in bank %d, want %d", got, set[0])
+	}
+	if d.Migrations == 0 {
+		t.Error("no migrations recorded")
+	}
+	d.CheckInvariants()
+}
+
+func TestDNUCASingleCopy(t *testing.T) {
+	d := smallDNUCA()
+	a := memsys.Addr(0x1000)
+	for c := 0; c < 4; c++ {
+		d.Access(uint64(c*100), c, a, false)
+	}
+	copies := 0
+	for b := 0; b < topo.NumDGroups; b++ {
+		if d.banks[b].Probe(a) != nil {
+			copies++
+		}
+	}
+	if copies != 1 {
+		t.Errorf("%d copies, want 1 (DNUCA does not replicate)", copies)
+	}
+	d.CheckInvariants()
+}
+
+// TestDNUCASharersPullBlockAround is [6]'s negative result the paper
+// leans on: with multiple sharers pulling, the block keeps migrating
+// and no sharer gets stable fast access.
+func TestDNUCASharersPullBlockAround(t *testing.T) {
+	d := smallDNUCA()
+	a := memsys.Addr(0x1000)
+	d.Access(0, 0, a, false)
+	// Opposite-corner sharers alternate.
+	banks := map[int]bool{}
+	migBefore := d.Migrations
+	now := uint64(100)
+	for i := 0; i < 40; i++ {
+		d.Access(now, []int{0, 3}[i%2], a, false)
+		banks[d.BankOf(a)] = true
+		now += 50
+	}
+	if d.Migrations-migBefore < 10 {
+		t.Errorf("only %d migrations under alternating sharers; the tug-of-war should continue",
+			d.Migrations-migBefore)
+	}
+	if len(banks) < 2 {
+		t.Error("block never moved between banks under opposing sharers")
+	}
+	d.CheckInvariants()
+}
+
+// TestDNUCASearchCostsAccumulate: a hit in the bankset's far bank pays
+// a full wrong-probe round first — the requester cannot know where
+// migration left the block.
+func TestDNUCASearchCostsAccumulate(t *testing.T) {
+	d := smallDNUCA()
+	a := memsys.Addr(0x1000) // bankset {a, d}
+	d.Access(0, 3, a, false) // placed at d (P3's nearest)
+	// P0's access probes a first (wrong, full round: 2+10=12), then
+	// hits in d (2+7*2+10=26): at least 38 cycles.
+	r := d.Access(100, 0, a, false)
+	if r.Category != memsys.Hit {
+		t.Fatalf("expected hit, got %v", r.Category)
+	}
+	if r.Latency < 38 {
+		t.Errorf("far-bank search hit = %d cycles, want >= 38 (wrong probe + far bank)", r.Latency)
+	}
+	d.CheckInvariants()
+}
+
+func TestDNUCARandomInvariants(t *testing.T) {
+	d := smallDNUCA()
+	r := rng.New(17)
+	now := uint64(0)
+	for i := 0; i < 30000; i++ {
+		coreID := r.Intn(4)
+		var addr memsys.Addr
+		if r.Bool(0.5) {
+			addr = memsys.Addr(0x10000*(coreID+1) + r.Intn(48)*64)
+		} else {
+			addr = memsys.Addr(0x80000 + r.Intn(24)*64)
+		}
+		d.Access(now, coreID, addr, r.Bool(0.3))
+		now += uint64(r.Intn(20) + 1)
+		if i%5000 == 0 {
+			d.CheckInvariants()
+		}
+	}
+	d.CheckInvariants()
+	s := d.Stats()
+	if s.Accesses.Count(memsys.LabelHit) == 0 || d.Migrations == 0 {
+		t.Error("degenerate DNUCA run")
+	}
+}

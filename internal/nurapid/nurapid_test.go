@@ -1,0 +1,262 @@
+package nurapid
+
+import (
+	"testing"
+
+	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/rng"
+)
+
+// tinyConfig builds a small NuRAPID for direct inspection: 16 sets,
+// 4 ways, 64 B blocks, two 32-frame d-groups (64 frames = 64 tags).
+func tinyConfig(promo PromotionPolicy) Config {
+	return Config{
+		Sets: 16, Ways: 4, BlockBytes: 64,
+		TagLatency: 4, MemLatency: 300,
+		DGroups: []DGroupConfig{
+			{Frames: 32, Latency: 6},
+			{Frames: 32, Latency: 20},
+		},
+		Promotion: promo,
+		Seed:      7,
+	}
+}
+
+func TestNewValidatesFrameCount(t *testing.T) {
+	cfg := tinyConfig(NextFastest)
+	cfg.DGroups[0].Frames = 31 // 63 != 64
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched frame/tag count did not panic")
+		}
+	}()
+	New(cfg)
+}
+
+func TestMissThenHitLatency(t *testing.T) {
+	c := New(tinyConfig(NextFastest))
+	addr := memsys.Addr(0x1000)
+	lat, hit := c.Access(addr)
+	if hit {
+		t.Fatal("cold access hit")
+	}
+	if lat != 4+300 {
+		t.Errorf("miss latency = %d, want 304", lat)
+	}
+	// Second access hits in the closest d-group.
+	lat, hit = c.Access(addr)
+	if !hit {
+		t.Fatal("second access missed")
+	}
+	if lat != 4+6 {
+		t.Errorf("closest-d-group hit latency = %d, want 10", lat)
+	}
+	c.CheckInvariants()
+}
+
+func TestNewBlocksPlaceInClosest(t *testing.T) {
+	c := New(tinyConfig(NextFastest))
+	for i := 0; i < 8; i++ {
+		c.Access(memsys.Addr(i * 64))
+	}
+	for i := 0; i < 8; i++ {
+		if g := c.DGroupOf(memsys.Addr(i * 64)); g != 0 {
+			t.Errorf("block %d placed in d-group %d, want 0", i, g)
+		}
+	}
+	c.CheckInvariants()
+}
+
+// TestDemotionChain fills the closest d-group and checks overflow
+// demotes blocks to the farther d-group rather than evicting them.
+func TestDemotionChain(t *testing.T) {
+	c := New(tinyConfig(NextFastest))
+	// 33 distinct blocks spread across sets: closest d-group holds 32.
+	for i := 0; i < 33; i++ {
+		c.Access(memsys.Addr(i * 64))
+	}
+	c.CheckInvariants()
+	// All 33 must still be cached (capacity is 64 frames): no block was
+	// evicted, one was demoted.
+	inFar := 0
+	for i := 0; i < 33; i++ {
+		g := c.DGroupOf(memsys.Addr(i * 64))
+		if g == -1 {
+			t.Fatalf("block %d evicted despite free capacity", i)
+		}
+		if g == 1 {
+			inFar++
+		}
+	}
+	if inFar != 1 {
+		t.Errorf("%d blocks in farther d-group, want exactly 1", inFar)
+	}
+	if c.Stats().Demotions == 0 {
+		t.Error("no demotions recorded")
+	}
+}
+
+// TestPromotionNextFastest checks a block that hits in a farther
+// d-group moves one group closer.
+func TestPromotionNextFastest(t *testing.T) {
+	c := New(tinyConfig(NextFastest))
+	for i := 0; i < 33; i++ {
+		c.Access(memsys.Addr(i * 64))
+	}
+	// Find the demoted block and re-access it.
+	var demoted memsys.Addr = 0xffffffff
+	for i := 0; i < 33; i++ {
+		if c.DGroupOf(memsys.Addr(i*64)) == 1 {
+			demoted = memsys.Addr(i * 64)
+		}
+	}
+	if demoted == 0xffffffff {
+		t.Fatal("no demoted block found")
+	}
+	lat, hit := c.Access(demoted)
+	if !hit || lat != 4+20 {
+		t.Fatalf("farther hit = (%d, %v), want (24, true)", lat, hit)
+	}
+	if g := c.DGroupOf(demoted); g != 0 {
+		t.Errorf("block not promoted: d-group %d, want 0", g)
+	}
+	if c.Stats().Promotions != 1 {
+		t.Errorf("Promotions = %d, want 1", c.Stats().Promotions)
+	}
+	c.CheckInvariants()
+}
+
+// TestPromotionSwapsVictim checks promotion into a full closest d-group
+// demotes a victim (a swap), preserving total occupancy.
+func TestPromotionSwapsVictim(t *testing.T) {
+	c := New(tinyConfig(Fastest))
+	for i := 0; i < 40; i++ {
+		c.Access(memsys.Addr(i * 64))
+	}
+	c.CheckInvariants()
+	// Re-access any block in the farther d-group; it must land in 0.
+	for i := 0; i < 40; i++ {
+		a := memsys.Addr(i * 64)
+		if c.DGroupOf(a) == 1 {
+			c.Access(a)
+			if g := c.DGroupOf(a); g != 0 {
+				t.Fatalf("fastest promotion left block in d-group %d", g)
+			}
+			break
+		}
+	}
+	c.CheckInvariants()
+}
+
+func TestNoPromotionPolicy(t *testing.T) {
+	c := New(tinyConfig(NoPromotion))
+	for i := 0; i < 33; i++ {
+		c.Access(memsys.Addr(i * 64))
+	}
+	var demoted memsys.Addr
+	found := false
+	for i := 0; i < 33; i++ {
+		if c.DGroupOf(memsys.Addr(i*64)) == 1 {
+			demoted, found = memsys.Addr(i*64), true
+		}
+	}
+	if !found {
+		t.Fatal("no demoted block")
+	}
+	c.Access(demoted)
+	if g := c.DGroupOf(demoted); g != 1 {
+		t.Errorf("NoPromotion moved block to d-group %d", g)
+	}
+	if c.Stats().Promotions != 0 {
+		t.Error("NoPromotion recorded promotions")
+	}
+}
+
+// TestEvictionOnSetConflict checks data replacement: conflicting blocks
+// in one set evict the LRU once associativity is exhausted.
+func TestEvictionOnSetConflict(t *testing.T) {
+	cfg := tinyConfig(NextFastest)
+	c := New(cfg)
+	// 5 blocks mapping to set 0 in a 4-way cache: stride = sets*block.
+	stride := cfg.Sets * cfg.BlockBytes
+	for i := 0; i < 5; i++ {
+		c.Access(memsys.Addr(i * stride))
+	}
+	if c.DGroupOf(0) != -1 {
+		t.Error("LRU conflict victim still present")
+	}
+	for i := 1; i < 5; i++ {
+		if c.DGroupOf(memsys.Addr(i*stride)) == -1 {
+			t.Errorf("recent block %d evicted", i)
+		}
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", c.Stats().Evictions)
+	}
+	c.CheckInvariants()
+}
+
+// TestInvariantsUnderRandomWorkload hammers the cache with a random
+// address stream and verifies full pointer consistency afterwards.
+func TestInvariantsUnderRandomWorkload(t *testing.T) {
+	for _, promo := range []PromotionPolicy{NextFastest, Fastest, NoPromotion} {
+		c := New(tinyConfig(promo))
+		r := rng.New(42)
+		for i := 0; i < 20000; i++ {
+			addr := memsys.Addr(r.Intn(256) * 64) // 256-block footprint, 4x capacity
+			c.Access(addr)
+			if i%1000 == 0 {
+				c.CheckInvariants()
+			}
+		}
+		c.CheckInvariants()
+		s := c.Stats()
+		if s.Hits == 0 || s.Misses == 0 {
+			t.Errorf("%v: degenerate run (hits=%d misses=%d)", promo, s.Hits, s.Misses)
+		}
+	}
+}
+
+// TestHotBlocksMigrateClose runs a skewed workload and checks that the
+// distance-associativity goal holds: most hits land in the closest
+// d-group even though it is only half the capacity.
+func TestHotBlocksMigrateClose(t *testing.T) {
+	c := New(tinyConfig(NextFastest))
+	r := rng.New(9)
+	z := rng.NewZipf(r, 256, 1.2)
+	for i := 0; i < 50000; i++ {
+		c.Access(memsys.Addr(z.Next() * 64))
+	}
+	s := c.Stats()
+	if s.HitsByDG[0] <= s.HitsByDG[1]*2 {
+		t.Errorf("closest d-group not dominating: %v", s.HitsByDG)
+	}
+	c.CheckInvariants()
+}
+
+func TestDefaultConfigGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	frames := 0
+	for _, d := range cfg.DGroups {
+		frames += d.Frames
+	}
+	if frames != cfg.Sets*cfg.Ways {
+		t.Errorf("default config frames %d != tags %d", frames, cfg.Sets*cfg.Ways)
+	}
+	if cfg.DGroups[0].Latency != 6 || cfg.DGroups[3].Latency != 33 {
+		t.Error("default d-group latencies do not match Table 1")
+	}
+	// Smoke: the 8 MB default must construct and run.
+	c := New(cfg)
+	for i := 0; i < 1000; i++ {
+		c.Access(memsys.Addr(i * 128))
+	}
+	c.CheckInvariants()
+}
+
+func TestPromotionPolicyString(t *testing.T) {
+	if NextFastest.String() != "next-fastest" || Fastest.String() != "fastest" ||
+		NoPromotion.String() != "none" {
+		t.Error("PromotionPolicy String() broken")
+	}
+}

@@ -1,0 +1,190 @@
+package topo
+
+import "testing"
+
+func TestDistanceSymmetricStructure(t *testing.T) {
+	// Each core is adjacent to its own d-group, one pitch from two
+	// d-groups, and two pitches from the last.
+	for c := 0; c < NumCores; c++ {
+		counts := map[int]int{}
+		for g := 0; g < NumDGroups; g++ {
+			counts[Distance(c, g)]++
+		}
+		if counts[0] != 1 || counts[1] != 2 || counts[2] != 1 {
+			t.Errorf("core %d distance profile = %v, want {0:1, 1:2, 2:1}", c, counts)
+		}
+		if Distance(c, c) != 0 {
+			t.Errorf("core %d not adjacent to its own d-group", c)
+		}
+	}
+}
+
+func TestPreferenceMatchesFigure1(t *testing.T) {
+	// Paper Figure 1 ranking table (d-groups named a=0..d=3).
+	want := [NumCores][NumDGroups]int{
+		{0, 1, 2, 3},
+		{1, 3, 0, 2},
+		{2, 0, 3, 1},
+		{3, 2, 1, 0},
+	}
+	if Preference != want {
+		t.Errorf("Preference = %v, want Figure 1's %v", Preference, want)
+	}
+}
+
+func TestPreferenceIsPermutation(t *testing.T) {
+	for c := 0; c < NumCores; c++ {
+		seen := map[int]bool{}
+		for _, g := range Preference[c] {
+			if g < 0 || g >= NumDGroups || seen[g] {
+				t.Fatalf("core %d preference %v is not a permutation", c, Preference[c])
+			}
+			seen[g] = true
+		}
+	}
+}
+
+func TestPreferenceDistanceOrdered(t *testing.T) {
+	// Rankings must never prefer a farther d-group over a closer one.
+	for c := 0; c < NumCores; c++ {
+		for r := 1; r < NumDGroups; r++ {
+			if Distance(c, Preference[c][r]) < Distance(c, Preference[c][r-1]) {
+				t.Errorf("core %d rank %d (%s) closer than rank %d (%s)",
+					c, r, DGroupNames[Preference[c][r]], r-1, DGroupNames[Preference[c][r-1]])
+			}
+		}
+	}
+}
+
+func TestPreferenceStaggered(t *testing.T) {
+	// §2.2.1: the second preferences must not collide — "if P0 and P1
+	// use each other's first preference as their second preference, the
+	// cores will compete". Every rank column must be a permutation of
+	// the d-groups.
+	for r := 0; r < NumDGroups; r++ {
+		seen := map[int]bool{}
+		for c := 0; c < NumCores; c++ {
+			g := Preference[c][r]
+			if seen[g] {
+				t.Errorf("rank %d assigned d-group %s to two cores", r, DGroupNames[g])
+			}
+			seen[g] = true
+		}
+	}
+}
+
+func TestClosest(t *testing.T) {
+	for c := 0; c < NumCores; c++ {
+		if Closest(c) != c {
+			t.Errorf("Closest(%d) = %d, want %d", c, Closest(c), c)
+		}
+	}
+}
+
+func TestRankRoundTrip(t *testing.T) {
+	for c := 0; c < NumCores; c++ {
+		for r := 0; r < NumDGroups; r++ {
+			if Rank(c, Preference[c][r]) != r {
+				t.Errorf("Rank(%d, Preference[%d][%d]) != %d", c, c, r, r)
+			}
+		}
+	}
+}
+
+func TestNextFasterSlower(t *testing.T) {
+	for c := 0; c < NumCores; c++ {
+		if _, ok := NextFaster(c, Closest(c)); ok {
+			t.Errorf("core %d: NextFaster of closest should report !ok", c)
+		}
+		farthest := Preference[c][NumDGroups-1]
+		if _, ok := NextSlower(c, farthest); ok {
+			t.Errorf("core %d: NextSlower of farthest should report !ok", c)
+		}
+		// Walking slower from closest then faster again must return.
+		g := Closest(c)
+		for i := 0; i < NumDGroups-1; i++ {
+			ng, ok := NextSlower(c, g)
+			if !ok {
+				t.Fatalf("core %d: NextSlower failed mid-chain at %d", c, g)
+			}
+			back, ok := NextFaster(c, ng)
+			if !ok || back != g {
+				t.Fatalf("core %d: NextFaster(NextSlower(%d)) = %d", c, g, back)
+			}
+			g = ng
+		}
+	}
+}
+
+func TestDeriveReproducesTable1(t *testing.T) {
+	l := Derive()
+	if l.SharedTag != 26 || l.SharedData != 33 || l.SharedTotal != 59 {
+		t.Errorf("shared = %d/%d/%d, want 26/33/59 (Table 1)",
+			l.SharedTag, l.SharedData, l.SharedTotal)
+	}
+	if l.PrivateTag != 4 || l.PrivateData != 6 || l.PrivateTotal != 10 {
+		t.Errorf("private = %d/%d/%d, want 4/6/10 (Table 1)",
+			l.PrivateTag, l.PrivateData, l.PrivateTotal)
+	}
+	if l.NuRAPIDTag != 5 {
+		t.Errorf("NuRAPID tag = %d, want 5 (Table 1)", l.NuRAPIDTag)
+	}
+	if l.Bus != 32 {
+		t.Errorf("bus = %d, want 32 (Table 1)", l.Bus)
+	}
+	// D-group data latencies from each core must be {6, 20, 20, 33} in
+	// preference order (Table 1 lists P0's view: 6, 20, 20, 33; the
+	// paper notes results are symmetric for the other cores).
+	for c := 0; c < NumCores; c++ {
+		want := [NumDGroups]int{6, 20, 20, 33}
+		for r := 0; r < NumDGroups; r++ {
+			g := Preference[c][r]
+			if l.DGroupData[c][g] != want[r] {
+				t.Errorf("core %d d-group %s = %d cycles, want %d",
+					c, DGroupNames[g], l.DGroupData[c][g], want[r])
+			}
+		}
+	}
+}
+
+func TestDGroupLatencyMonotoneInPreference(t *testing.T) {
+	l := Derive()
+	for c := 0; c < NumCores; c++ {
+		for r := 1; r < NumDGroups; r++ {
+			a := l.DGroupData[c][Preference[c][r-1]]
+			b := l.DGroupData[c][Preference[c][r]]
+			if b < a {
+				t.Errorf("core %d: latency decreases along preference (%d then %d)", c, a, b)
+			}
+		}
+	}
+}
+
+func TestDeriveWithMatchesDeriveAtDefault(t *testing.T) {
+	if DeriveWith(DGroupBytes) != Derive() {
+		t.Error("DeriveWith at the default d-group size diverges from Derive")
+	}
+}
+
+func TestDeriveWithScales(t *testing.T) {
+	small := DeriveWith(1 << 20) // 1 MB d-groups (4 MB total)
+	big := DeriveWith(4 << 20)   // 4 MB d-groups (16 MB total)
+	def := Derive()
+	if small.PrivateTotal >= def.PrivateTotal || def.PrivateTotal >= big.PrivateTotal {
+		t.Errorf("private latency not monotone in size: %d / %d / %d",
+			small.PrivateTotal, def.PrivateTotal, big.PrivateTotal)
+	}
+	if small.Bus >= def.Bus || def.Bus >= big.Bus {
+		t.Errorf("bus latency not monotone in chip size: %d / %d / %d",
+			small.Bus, def.Bus, big.Bus)
+	}
+	for c := 0; c < NumCores; c++ {
+		for r := 1; r < NumDGroups; r++ {
+			a := small.DGroupData[c][Preference[c][r-1]]
+			b := small.DGroupData[c][Preference[c][r]]
+			if b < a {
+				t.Fatalf("scaled latencies lose preference monotonicity")
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"cmpnurapid/internal/cmpsim"
+	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/workload"
+)
+
+func TestRoundTripSingleOp(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := cmpsim.Op{Compute: 7, Addr: 0xdeadbe00, Write: true}
+	if err := w.Write(2, op); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cores() != 4 {
+		t.Errorf("Cores = %d, want 4", r.Cores())
+	}
+	core, got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core != 2 || got != op {
+		t.Errorf("round trip: core %d op %+v, want core 2 %+v", core, got, op)
+	}
+	if _, _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(core uint8, compute uint16, addr uint64, write, instr, nomem bool) bool {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, 256-1)
+		op := cmpsim.Op{
+			Compute: int(compute), Addr: memsys.Addr(addr),
+			Write: write, Instr: instr, NoMem: nomem,
+		}
+		c := int(core) % 255
+		if err := w.Write(c, op); err != nil {
+			return false
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		gc, gop, err := r.Next()
+		return err == nil && gc == c && gop == op
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE0000"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 1)
+	w.Write(0, cmpsim.Op{Addr: 0x40})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, 0); err == nil {
+		t.Error("0-core writer accepted")
+	}
+	w, _ := NewWriter(&buf, 2)
+	if err := w.Write(5, cmpsim.Op{}); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if err := w.Write(0, cmpsim.Op{Compute: 1 << 16}); err == nil {
+		t.Error("oversized compute accepted")
+	}
+}
+
+func TestRecordAndReplayMatchesGenerator(t *testing.T) {
+	// A replayed trace must feed the simulator exactly the ops a fresh
+	// generator with the same seed would have.
+	var buf bytes.Buffer
+	if err := Record(&buf, workload.New(workload.SPECjbb(9)), 4, 500); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Load(bytes.NewReader(buf.Bytes()), "jbb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != "jbb" {
+		t.Errorf("Name = %q", rp.Name())
+	}
+	fresh := workload.New(workload.SPECjbb(9))
+	for i := 0; i < 500; i++ {
+		for c := 0; c < 4; c++ {
+			want := fresh.Next(c)
+			got := rp.Next(c)
+			if got != want {
+				t.Fatalf("op %d core %d: replay %+v != generator %+v", i, c, got, want)
+			}
+		}
+	}
+	if rp.Len(0) != 500 {
+		t.Errorf("Len(0) = %d, want 500", rp.Len(0))
+	}
+}
+
+func TestReplayerExhaustionAndRewind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Record(&buf, workload.New(workload.Barnes(3)), 4, 10); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Load(bytes.NewReader(buf.Bytes()), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rp.Next(1)
+	for i := 1; i < 10; i++ {
+		rp.Next(1)
+	}
+	// Exhausted: spins on compute ops.
+	if op := rp.Next(1); !op.NoMem {
+		t.Errorf("exhausted replayer returned %+v, want compute spin", op)
+	}
+	rp.Rewind()
+	if got := rp.Next(1); got != first {
+		t.Errorf("after Rewind: %+v, want %+v", got, first)
+	}
+}

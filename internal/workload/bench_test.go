@@ -1,0 +1,19 @@
+package workload
+
+import "testing"
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := New(OLTP(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(i % 4)
+	}
+}
+
+func BenchmarkMixNext(b *testing.B) {
+	m := Mixes(1)[2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Next(i % 4)
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"cmpnurapid/internal/cmpsim"
+	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/rng"
+	"cmpnurapid/internal/topo"
+)
+
+// App characterizes one SPEC CPU2000 application for the
+// multiprogrammed mixes: its cache footprint (in 128 B blocks), Zipf
+// locality exponent, compute density, and store fraction. Values
+// follow the applications' well-known memory behaviour: art/mcf/swim
+// are cache-hungry with poor locality; mesa/gzip/wupwise have small,
+// hot working sets — exactly the non-uniform capacity demand capacity
+// stealing exploits (§3.3).
+type App struct {
+	Name       string
+	Blocks     int
+	Theta      float64
+	ComputeMin int
+	ComputeMax int
+	WriteFrac  float64
+	// RepeatFrac sets the app's temporal-burst rate, i.e. its L1 hit
+	// rate (see Profile.RepeatFrac); the cache-hungry codes have poor
+	// L1 behaviour too.
+	RepeatFrac float64
+}
+
+// The ten SPEC2K applications of Table 2. Footprints and locality
+// follow the applications' well-known behaviour, scaled so the
+// Figure 11 regime holds: the aggregate demand of every mix exceeds
+// the 8 MB shared cache (shared cache ~9% misses), the cache-hungry
+// apps overflow a 2 MB private cache badly (private ~14%), and the
+// small apps leave private-cache slack for capacity stealing.
+var (
+	Apsi    = App{Name: "apsi", Blocks: blocksForMB(2.5), Theta: 0.60, ComputeMin: 3, ComputeMax: 7, WriteFrac: 0.30, RepeatFrac: 0.85}
+	Art     = App{Name: "art", Blocks: blocksForMB(4.5), Theta: 0.35, ComputeMin: 1, ComputeMax: 4, WriteFrac: 0.20, RepeatFrac: 0.70}
+	Equake  = App{Name: "equake", Blocks: blocksForMB(2.2), Theta: 0.55, ComputeMin: 2, ComputeMax: 6, WriteFrac: 0.25, RepeatFrac: 0.85}
+	Mesa    = App{Name: "mesa", Blocks: blocksForMB(0.5), Theta: 0.90, ComputeMin: 4, ComputeMax: 9, WriteFrac: 0.30, RepeatFrac: 0.90}
+	Ammp    = App{Name: "ammp", Blocks: blocksForMB(4.0), Theta: 0.40, ComputeMin: 2, ComputeMax: 5, WriteFrac: 0.25, RepeatFrac: 0.80}
+	Swim    = App{Name: "swim", Blocks: blocksForMB(4.5), Theta: 0.30, ComputeMin: 1, ComputeMax: 4, WriteFrac: 0.35, RepeatFrac: 0.70}
+	Vortex  = App{Name: "vortex", Blocks: blocksForMB(1.8), Theta: 0.65, ComputeMin: 3, ComputeMax: 7, WriteFrac: 0.30, RepeatFrac: 0.85}
+	Mcf     = App{Name: "mcf", Blocks: blocksForMB(6.5), Theta: 0.30, ComputeMin: 1, ComputeMax: 3, WriteFrac: 0.20, RepeatFrac: 0.70}
+	Gzip    = App{Name: "gzip", Blocks: blocksForMB(1.0), Theta: 0.75, ComputeMin: 3, ComputeMax: 8, WriteFrac: 0.30, RepeatFrac: 0.88}
+	Wupwise = App{Name: "wupwise", Blocks: blocksForMB(1.2), Theta: 0.80, ComputeMin: 4, ComputeMax: 9, WriteFrac: 0.30, RepeatFrac: 0.88}
+)
+
+// Multiprogrammed runs one independent application per core: no
+// sharing at all, disjoint address spaces, per-core locality. It
+// implements cmpsim.Workload.
+type Multiprogrammed struct {
+	name  string
+	apps  [topo.NumCores]App
+	cores [topo.NumCores]mixCore
+}
+
+type mixCore struct {
+	r *rng.Source
+	z *rng.Zipf
+	// ring holds recently issued references for temporal bursts.
+	ring    [repeatRing]cmpsim.Op
+	ringLen int
+	ringPos int
+}
+
+// NewMix builds a multiprogrammed workload from four applications.
+func NewMix(name string, apps [topo.NumCores]App, seed uint64) *Multiprogrammed {
+	m := &Multiprogrammed{name: name, apps: apps}
+	root := rng.New(seed ^ 0x5bf0_3635)
+	for c := 0; c < topo.NumCores; c++ {
+		r := root.Split()
+		m.cores[c] = mixCore{r: r, z: rng.NewZipf(r.Split(), max1(apps[c].Blocks), apps[c].Theta)}
+	}
+	return m
+}
+
+// Name implements cmpsim.Workload.
+func (m *Multiprogrammed) Name() string { return m.name }
+
+// Apps returns the per-core applications.
+func (m *Multiprogrammed) Apps() [topo.NumCores]App { return m.apps }
+
+// Next implements cmpsim.Workload.
+func (m *Multiprogrammed) Next(core int) cmpsim.Op {
+	mc := &m.cores[core]
+	app := &m.apps[core]
+	op := cmpsim.Op{}
+	if app.ComputeMax > app.ComputeMin {
+		op.Compute = app.ComputeMin + mc.r.Intn(app.ComputeMax-app.ComputeMin+1)
+	} else {
+		op.Compute = app.ComputeMin
+	}
+	// Temporal burst: re-touch a recent reference as a load.
+	if mc.ringLen > 0 && mc.r.Bool(app.RepeatFrac) {
+		op.Addr = mc.ring[mc.r.Intn(mc.ringLen)].Addr
+		return op
+	}
+	base := memsys.Addr(PrivateBase + core*PrivateStep)
+	op.Addr = base + memsys.Addr(mc.z.Next()*BlockBytes)
+	op.Write = mc.r.Bool(app.WriteFrac)
+	mc.ring[mc.ringPos] = op
+	mc.ringPos = (mc.ringPos + 1) % repeatRing
+	if mc.ringLen < repeatRing {
+		mc.ringLen++
+	}
+	return op
+}
+
+// MixApps returns Table 2's application lists.
+func MixApps() map[string][topo.NumCores]App {
+	return map[string][topo.NumCores]App{
+		"MIX1": {Apsi, Art, Equake, Mesa},
+		"MIX2": {Ammp, Swim, Mesa, Vortex},
+		"MIX3": {Apsi, Mcf, Gzip, Mesa},
+		"MIX4": {Ammp, Gzip, Vortex, Wupwise},
+	}
+}
+
+// Mixes returns the four Table 2 workloads in order.
+func Mixes(seed uint64) []*Multiprogrammed {
+	apps := MixApps()
+	return []*Multiprogrammed{
+		NewMix("MIX1", apps["MIX1"], seed),
+		NewMix("MIX2", apps["MIX2"], seed+1),
+		NewMix("MIX3", apps["MIX3"], seed+2),
+		NewMix("MIX4", apps["MIX4"], seed+3),
+	}
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Repository health check: formatting, vet, full test suite, and a
+# single-iteration pass over every benchmark (so the whole evaluation
+# pipeline is exercised). Used before publishing results.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "unformatted files:" "$unformatted"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== benchmarks (1 iteration each) =="
+go test -run '^$' -bench . -benchtime 1x ./...
+
+echo "== full reproduction (optional, ~3 min): CMPNURAPID_FULL=1 go test -run TestFullReproduction -timeout 30m . =="
+echo "OK"
