@@ -86,6 +86,7 @@ func main() {
 		}
 	}
 	rc := experiments.RunConfig{WarmupInstr: *warmup, Instructions: *instr, Seed: *seed}
+	rc.Validate()
 	res := experiments.Run(experiments.DesignName(*design), w, rc)
 
 	fmt.Printf("design   %s\nworkload %s\n\n", res.Design, *wl)

@@ -26,6 +26,7 @@ func main() {
 	flag.Parse()
 
 	rc := experiments.RunConfig{WarmupInstr: *warmup, Instructions: *instr, Seed: *seed}
+	rc.Validate()
 	eval := experiments.NewEval(rc)
 
 	want := map[string]bool{}

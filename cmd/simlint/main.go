@@ -1,0 +1,141 @@
+// Command simlint runs the simulator-aware static-analysis pass suite
+// (internal/simlint) over this repository. It loads every package in
+// the module with go/parser + go/types — no external dependencies —
+// and enforces the rules documented in docs/ANALYSIS.md:
+//
+//	determinism     no wall clock / global rand / env reads in model packages
+//	panicmsg        panics in internal packages carry a "pkg: " prefix
+//	floatcmp        no ==/!= on floats in result-reporting packages
+//	invariantcov    mutating cache methods have CheckInvariants-bracketed tests
+//	configvalidate  Config literals in cmd/ and examples/ are validated
+//
+// Usage:
+//
+//	go run ./cmd/simlint ./...
+//	go run ./cmd/simlint -json ./...
+//	go run ./cmd/simlint -disable floatcmp,invariantcov ./...
+//	go run ./cmd/simlint -list
+//
+// Package patterns are accepted for familiarity but the whole module
+// containing the working directory is always analyzed. Exit status is
+// 0 when clean, 1 when any rule reports a diagnostic, 2 on load
+// errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cmpnurapid/internal/simlint"
+)
+
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func main() {
+	var (
+		asJSON  = flag.Bool("json", false, "emit diagnostics as JSON")
+		disable = flag.String("disable", "", "comma-separated rule names to skip")
+		list    = flag.Bool("list", false, "list rules and exit")
+	)
+	flag.Parse()
+
+	analyzers := simlint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	disabled := map[string]bool{}
+	for _, name := range strings.Split(*disable, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			disabled[name] = true
+		}
+	}
+	var enabled []*simlint.Analyzer
+	for _, a := range analyzers {
+		if disabled[a.Name] {
+			delete(disabled, a.Name)
+			continue
+		}
+		enabled = append(enabled, a)
+	}
+	for name := range disabled {
+		fmt.Fprintf(os.Stderr, "simlint: unknown rule %q in -disable\n", name)
+		os.Exit(2)
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	prog, err := simlint.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	diags := prog.Run(enabled)
+
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File: relToRoot(root, d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+				Rule: d.Rule, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			pos := d.Pos
+			pos.Filename = relToRoot(root, pos.Filename)
+			fmt.Printf("%s: [%s] %s\n", pos, d.Rule, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks upward from the working directory to the nearest
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+func relToRoot(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

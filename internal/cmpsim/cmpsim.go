@@ -112,11 +112,20 @@ type System struct {
 	directory bool
 }
 
-// New builds a system around the given L2 design and workload.
-func New(cfg Config, l2 memsys.L2, w Workload) *System {
+// Validate panics unless the L1 configuration is structurally sound.
+// New runs it on every construction so hand-built configs fail fast.
+func (cfg Config) Validate() {
 	if cfg.Cores != topo.NumCores {
 		panic(fmt.Sprintf("cmpsim: config requires %d cores", topo.NumCores))
 	}
+	if cfg.L1Bytes <= 0 || cfg.L1Ways <= 0 || cfg.L1Block <= 0 || cfg.L1Latency <= 0 {
+		panic("cmpsim: L1 geometry and latency must be positive")
+	}
+}
+
+// New builds a system around the given L2 design and workload.
+func New(cfg Config, l2 memsys.L2, w Workload) *System {
+	cfg.Validate()
 	s := &System{cfg: cfg, l2: l2, stream: w}
 	if cp, ok := l2.(CommunicationProber); ok {
 		s.comm = cp

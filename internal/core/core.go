@@ -229,14 +229,26 @@ type Cache struct {
 	CMigrations uint64
 }
 
-// New builds a CMP-NuRAPID cache.
-func New(cfg Config) *Cache {
+// Validate panics unless the configuration is structurally sound: the
+// fixed 4-core floorplan, tag arrays that cover at least one d-group,
+// and positive geometry. New runs it on every construction, so any
+// hand-built Config fails fast instead of producing a silently
+// misshapen cache.
+func (cfg Config) Validate() {
 	if cfg.Cores != topo.NumCores {
 		panic(fmt.Sprintf("core: config requires %d cores (floorplan is fixed)", topo.NumCores))
+	}
+	if cfg.BlockBytes <= 0 || cfg.TagSets <= 0 || cfg.TagWays <= 0 || cfg.DGroupFrames <= 0 {
+		panic("core: block size, tag geometry and d-group frames must be positive")
 	}
 	if cfg.TagSets*cfg.TagWays < cfg.DGroupFrames {
 		panic("core: tag arrays must cover at least one d-group of frames")
 	}
+}
+
+// New builds a CMP-NuRAPID cache.
+func New(cfg Config) *Cache {
+	cfg.Validate()
 	c := &Cache{
 		cfg:         cfg,
 		tagPort:     make([]bus.Port, cfg.Cores),

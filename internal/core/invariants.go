@@ -35,20 +35,20 @@ func (c *Cache) CheckInvariants() {
 			addr := ta.AddrOf(l)
 			st := l.Data.state
 			if !st.Valid() {
-				panic(fmt.Sprintf("core %d: valid tag for %#x with invalid coherence state", coreID, addr))
+				panic(fmt.Sprintf("core: core %d valid tag for %#x with invalid coherence state", coreID, addr))
 			}
 			p := l.Data.fwd
 			if p.dgroup < 0 || p.dgroup >= len(c.dgroups) ||
 				p.frame < 0 || p.frame >= len(c.dgroups[p.dgroup].frames) {
-				panic(fmt.Sprintf("core %d: tag for %#x has out-of-range pointer %v", coreID, addr, p))
+				panic(fmt.Sprintf("core: core %d tag for %#x has out-of-range pointer %v", coreID, addr, p))
 			}
 			fr := c.frameAt(p)
 			if !fr.valid {
-				panic(fmt.Sprintf("core %d: tag for %#x (state %v) has dangling forward pointer %v",
+				panic(fmt.Sprintf("core: core %d tag for %#x (state %v) has dangling forward pointer %v",
 					coreID, addr, st, p))
 			}
 			if fr.addr != addr {
-				panic(fmt.Sprintf("core %d: tag for %#x points at frame holding %#x", coreID, addr, fr.addr))
+				panic(fmt.Sprintf("core: core %d tag for %#x points at frame holding %#x", coreID, addr, fr.addr))
 			}
 			bt := blocks[addr]
 			if bt == nil {
@@ -76,14 +76,14 @@ func (c *Cache) CheckInvariants() {
 		freeSet := map[int]bool{}
 		for _, f := range dg.free {
 			if freeSet[f] {
-				panic(fmt.Sprintf("d-group %d: frame %d on free list twice", gi, f))
+				panic(fmt.Sprintf("core: d-group %d frame %d on free list twice", gi, f))
 			}
 			freeSet[f] = true
 		}
 		for fi := range dg.frames {
 			fr := &dg.frames[fi]
 			if fr.valid == freeSet[fi] {
-				panic(fmt.Sprintf("d-group %d frame %d: valid=%v but on-free-list=%v",
+				panic(fmt.Sprintf("core: d-group %d frame %d valid=%v but on-free-list=%v",
 					gi, fi, fr.valid, freeSet[fi]))
 			}
 			if !fr.valid {
@@ -93,7 +93,7 @@ func (c *Cache) CheckInvariants() {
 			p := ptr{gi, fi}
 			owner := c.tags[fr.revCore].Probe(fr.addr)
 			if owner == nil || owner.Data.fwd != p {
-				panic(fmt.Sprintf("d-group %d frame %d (addr %#x): dangling reverse pointer to core %d",
+				panic(fmt.Sprintf("core: d-group %d frame %d (addr %#x) has dangling reverse pointer to core %d",
 					gi, fi, fr.addr, fr.revCore))
 			}
 		}
@@ -103,20 +103,20 @@ func (c *Cache) CheckInvariants() {
 	// Block-level coherence checks.
 	for addr, bt := range blocks {
 		if bt.e+bt.m > 1 {
-			panic(fmt.Sprintf("block %#x: %d exclusive-owner tags", addr, bt.e+bt.m))
+			panic(fmt.Sprintf("core: block %#x has %d exclusive-owner tags", addr, bt.e+bt.m))
 		}
 		total := bt.e + bt.m + bt.cState + bt.s
 		if bt.m == 1 && total > 1 {
-			panic(fmt.Sprintf("block %#x: M coexists with %d other tags", addr, total-1))
+			panic(fmt.Sprintf("core: block %#x M coexists with %d other tags", addr, total-1))
 		}
 		if bt.e == 1 && total > 1 {
-			panic(fmt.Sprintf("block %#x: E coexists with %d other tags", addr, total-1))
+			panic(fmt.Sprintf("core: block %#x E coexists with %d other tags", addr, total-1))
 		}
 		if bt.cState > 0 && bt.s > 0 {
-			panic(fmt.Sprintf("block %#x: C and S tags coexist", addr))
+			panic(fmt.Sprintf("core: block %#x C and S tags coexist", addr))
 		}
 		if (bt.cState > 0 || bt.m > 0) && len(bt.frames) != 1 {
-			panic(fmt.Sprintf("block %#x: dirty block with %d data copies", addr, len(bt.frames)))
+			panic(fmt.Sprintf("core: block %#x dirty with %d data copies", addr, len(bt.frames)))
 		}
 	}
 

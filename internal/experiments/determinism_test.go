@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"cmpnurapid/internal/cmpsim"
+	"cmpnurapid/internal/workload"
+)
+
+// TestDeterminismDeepEqual is the runtime counterpart of the simlint
+// determinism rule: the full cmpsim pipeline run twice with the same
+// seed on a multiprogrammed mix must be bit-identical — every per-core
+// counter, distribution bucket and latency sum, not just the headline
+// cycle count. Any wall-clock, environment or map-iteration dependence
+// anywhere in the simulated path shows up here as a diff.
+func TestDeterminismDeepEqual(t *testing.T) {
+	rc := RunConfig{WarmupInstr: 80_000, Instructions: 80_000, Seed: 11}
+	run := func() cmpsim.Results {
+		// Fresh workload per run: the mix generators are stateful
+		// reference streams.
+		return Run(NuRAPID, workload.Mixes(rc.Seed)[0], rc)
+	}
+	a, b := run(), run()
+	if a.Cycles == 0 || a.Instructions == 0 {
+		t.Fatalf("degenerate run: %+v", a)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different results:\nrun 1: %+v\nrun 2: %+v", a, b)
+		if !reflect.DeepEqual(a.L2, b.L2) {
+			t.Errorf("L2 stats diverge:\nrun 1: %+v\nrun 2: %+v", *a.L2, *b.L2)
+		}
+	}
+}

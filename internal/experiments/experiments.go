@@ -26,6 +26,19 @@ type RunConfig struct {
 	Seed         uint64
 }
 
+// Validate panics unless the configuration can produce a meaningful
+// measurement window. Binaries building a RunConfig from flags call
+// this before starting a run (the simlint configvalidate rule enforces
+// it); library paths use the checked Default/Quick constructors.
+func (rc RunConfig) Validate() {
+	if rc.WarmupInstr < 0 {
+		panic("experiments: negative warm-up instruction count")
+	}
+	if rc.Instructions == 0 {
+		panic("experiments: zero measured instructions")
+	}
+}
+
 // DefaultRunConfig is the standard evaluation scale: the warm-up must
 // touch the multi-megabyte footprints enough times that the
 // measurement window reflects steady state rather than cold misses.

@@ -115,6 +115,9 @@ func TestFigure5Shape(t *testing.T) {
 // ideal > non-uniform-shared > uniform-shared on the commercial
 // average.
 func TestFigure6Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deterministic full-pipeline ordering; skipped under -short (race gate)")
+	}
 	e := quickEval(t)
 	ideal := e.Speedup(Ideal)
 	private := e.Speedup(Private)
@@ -192,6 +195,9 @@ func TestFigure10Headline(t *testing.T) {
 // TestFigure11MissRateOrdering: shared <= CMP-NuRAPID < private on the
 // mix average (the paper's 8.9% / 9.7% / 14%).
 func TestFigure11MissRateOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deterministic full-pipeline ordering; skipped under -short (race gate)")
+	}
 	e := quickEval(t)
 	sh := e.MixMissRate(UniformShared)
 	nu := e.MixMissRate(NuRAPID)
@@ -204,6 +210,9 @@ func TestFigure11MissRateOrdering(t *testing.T) {
 // TestFigure12Ordering: CMP-NuRAPID > private > non-uniform-shared >
 // uniform-shared on the mix average.
 func TestFigure12Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deterministic full-pipeline ordering; skipped under -short (race gate)")
+	}
 	e := quickEval(t)
 	nu := e.MixSpeedup(NuRAPID)
 	pr := e.MixSpeedup(Private)

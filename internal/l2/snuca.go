@@ -1,6 +1,8 @@
 package l2
 
 import (
+	"fmt"
+
 	"cmpnurapid/internal/bus"
 	"cmpnurapid/internal/cache"
 	"cmpnurapid/internal/memsys"
@@ -105,6 +107,24 @@ func (s *SNUCA) outerAddr(inner memsys.Addr, bank int) memsys.Addr {
 	bb := s.blockBits()
 	block := uint64(inner) >> bb
 	return memsys.Addr((block*uint64(len(s.banks)) + uint64(bank)) << bb)
+}
+
+// CheckInvariants verifies SNUCA's single-copy property at the bank
+// level: no bank holds two valid lines for the same block. Static
+// interleaving makes cross-bank duplication impossible by
+// construction, so the remaining failure mode is an install path that
+// skips the probe and double-allocates within a set.
+func (s *SNUCA) CheckInvariants() {
+	for b, bank := range s.banks {
+		seen := map[memsys.Addr]bool{}
+		bank.ForEach(func(_ int, l *cache.Line[sharedPayload]) {
+			a := bank.AddrOf(l)
+			if seen[a] {
+				panic(fmt.Sprintf("l2: SNUCA bank %d holds block %#x twice", b, a))
+			}
+			seen[a] = true
+		})
+	}
 }
 
 // Access implements memsys.L2.

@@ -1,0 +1,51 @@
+package l2
+
+import (
+	"strings"
+	"testing"
+
+	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/rng"
+	"cmpnurapid/internal/topo"
+)
+
+func TestSNUCAInvariantsHoldUnderTraffic(t *testing.T) {
+	s := smallSNUCA()
+	s.SetL1Invalidate(func(core int, addr memsys.Addr) {})
+	r := rng.New(7)
+	now := uint64(0)
+	for i := 0; i < 20000; i++ {
+		coreID := r.Intn(topo.NumCores)
+		addr := memsys.Addr(0x4000*(coreID+1) + r.Intn(256)*64)
+		s.Access(now, coreID, addr, r.Bool(0.25))
+		now += uint64(r.Intn(10) + 1)
+		if i%4000 == 0 {
+			s.CheckInvariants()
+		}
+	}
+	s.CheckInvariants()
+	if s.Stats().Accesses.Total() != 20000 {
+		t.Error("access count mismatch")
+	}
+}
+
+func TestSNUCAInvariantsDetectDoubleResidency(t *testing.T) {
+	s := smallSNUCA()
+	// Bypass Access's probe-before-install discipline and allocate the
+	// same block in two ways of the same set.
+	bank := s.banks[0]
+	set := bank.Set(0)
+	bank.Install(&set[0], 0, sharedPayload{})
+	bank.Install(&set[1], 0, sharedPayload{})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("CheckInvariants accepted a double-resident block")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "twice") || !strings.HasPrefix(msg, "l2: ") {
+			t.Fatalf("panic = %v, want l2-prefixed double-residency message", r)
+		}
+	}()
+	s.CheckInvariants()
+}

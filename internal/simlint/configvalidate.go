@@ -1,0 +1,160 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewConfigValidate builds the config-validation rule: a Config struct
+// literal built in cmd/ or examples/ must flow through a validation
+// path before use — either directly as a constructor argument (whose
+// New/Run-style callee validates it), nested inside an enclosing
+// config literal (validated with its parent), or via a .Validate()
+// call on the assigned variable in the same function. Binaries are
+// where hand-edited parameters enter the system; an unvalidated
+// literal there turns a typo'd latency into a silently wrong figure
+// instead of an immediate panic.
+func NewConfigValidate() *Analyzer {
+	return &Analyzer{
+		Name: "configvalidate",
+		Doc:  "Config literals in cmd/ and examples/ must pass through a Validate/constructor path",
+		Run: func(prog *Program, report Reporter) {
+			for _, pkg := range prog.Packages {
+				if !pkg.UnderRel("cmd", "examples") {
+					continue
+				}
+				for _, file := range pkg.Files {
+					checkConfigFile(prog, pkg, file, report)
+				}
+			}
+		},
+	}
+}
+
+func checkConfigFile(prog *Program, pkg *Package, file *ast.File, report Reporter) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		checkConfigFunc(prog, pkg, fd.Body, report)
+	}
+}
+
+func checkConfigFunc(prog *Program, pkg *Package, body *ast.BlockStmt, report Reporter) {
+	sanctioned := map[*ast.CompositeLit]bool{}
+	validated := map[string]bool{} // variable names with a .Validate() call
+	assignedTo := map[*ast.CompositeLit]string{}
+
+	markLit := func(expr ast.Expr) *ast.CompositeLit {
+		expr = unwrapAddr(expr)
+		if cl, ok := expr.(*ast.CompositeLit); ok {
+			return cl
+		}
+		return nil
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Validate" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					validated[id.Name] = true
+				}
+			}
+			// A literal handed straight to a call is the constructor
+			// path: core.New(core.Config{...}).
+			for _, arg := range n.Args {
+				if cl := markLit(arg); cl != nil {
+					sanctioned[cl] = true
+				}
+			}
+		case *ast.CompositeLit:
+			// Nested config literals are validated through their parent.
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if cl := markLit(elt); cl != nil {
+					sanctioned[cl] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					cl := markLit(rhs)
+					id, ok := n.Lhs[i].(*ast.Ident)
+					if cl != nil && ok {
+						assignedTo[cl] = id.Name
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, v := range n.Values {
+					if cl := markLit(v); cl != nil {
+						assignedTo[cl] = n.Names[i].Name
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok || !isInternalConfigType(prog, pkg, cl) || sanctioned[cl] {
+			return true
+		}
+		if name, ok := assignedTo[cl]; ok && validated[name] {
+			return true
+		}
+		report(cl.Pos(), "%s literal is neither passed to a constructor nor Validate()d; "+
+			"call its Validate method (or build it via the package constructor) before use",
+			configTypeName(cl))
+		return true
+	})
+}
+
+func unwrapAddr(expr ast.Expr) ast.Expr {
+	if ue, ok := expr.(*ast.UnaryExpr); ok {
+		return ue.X
+	}
+	return expr
+}
+
+// isInternalConfigType reports whether the literal builds a *Config
+// struct exported from one of this module's packages. With type
+// information the origin package is checked exactly; otherwise any
+// pkg.XxxConfig selector literal counts.
+func isInternalConfigType(prog *Program, pkg *Package, cl *ast.CompositeLit) bool {
+	name := configTypeName(cl)
+	if name == "" || !strings.HasSuffix(name, "Config") {
+		return false
+	}
+	if pkg.Info != nil {
+		if tv, ok := pkg.Info.Types[cl]; ok && tv.Type != nil {
+			named, ok := tv.Type.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return false
+			}
+			return strings.HasPrefix(named.Obj().Pkg().Path(), prog.ModulePath)
+		}
+	}
+	_, isSelector := cl.Type.(*ast.SelectorExpr)
+	return isSelector
+}
+
+func configTypeName(cl *ast.CompositeLit) string {
+	switch t := cl.Type.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name + "." + t.Sel.Name
+		}
+		return t.Sel.Name
+	case *ast.Ident:
+		return t.Name
+	}
+	return ""
+}

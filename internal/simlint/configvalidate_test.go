@@ -1,0 +1,102 @@
+package simlint
+
+import "testing"
+
+// simFixture exports a Config with the standard Validate/constructor
+// surface.
+const simFixture = `package sim
+
+type Config struct {
+	N int
+	Inner SubConfig
+}
+
+type SubConfig struct {
+	M int
+}
+
+func (c Config) Validate() {
+	if c.N <= 0 {
+		panic("sim: non-positive N")
+	}
+}
+
+func New(c Config) int {
+	c.Validate()
+	return c.N
+}
+`
+
+func TestConfigValidateFlagsRawLiterals(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/sim/sim.go": simFixture,
+		"cmd/app/main.go": `package main
+
+import "fix.example/m/internal/sim"
+
+func main() {
+	cfg := sim.Config{N: 1}
+	_ = cfg.N
+}
+`,
+		"examples/demo/main.go": `package main
+
+import "fix.example/m/internal/sim"
+
+func main() {
+	var cfg = sim.Config{N: 2}
+	_ = cfg.N
+}
+`,
+	}, NewConfigValidate())
+	expectDiags(t, diags,
+		"sim.Config literal is neither passed to a constructor nor Validate()d",
+		"sim.Config literal is neither passed to a constructor nor Validate()d",
+	)
+}
+
+func TestConfigValidateAcceptsSanctionedPaths(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/sim/sim.go": simFixture,
+		"cmd/app/main.go": `package main
+
+import "fix.example/m/internal/sim"
+
+func main() {
+	// Constructor path: literal handed straight to a call.
+	_ = sim.New(sim.Config{N: 1})
+
+	// Validate path: explicit call on the assigned variable.
+	cfg := sim.Config{N: 2, Inner: sim.SubConfig{M: 3}}
+	cfg.Validate()
+	_ = cfg.N
+}
+`,
+		// Literals inside library code are the library's business, not
+		// this rule's.
+		"internal/sim/use.go": `package sim
+
+func Default() Config { return Config{N: 4} }
+`,
+	}, NewConfigValidate())
+	expectDiags(t, diags)
+}
+
+func TestConfigValidateIgnoresNonConfigTypes(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/sim/sim.go": simFixture,
+		"cmd/app/main.go": `package main
+
+import "fix.example/m/internal/sim"
+
+type options struct{ v int }
+
+func main() {
+	o := options{v: 1}
+	_ = o
+	_ = sim.New(sim.Config{N: 1})
+}
+`,
+	}, NewConfigValidate())
+	expectDiags(t, diags)
+}

@@ -1,0 +1,88 @@
+package simlint
+
+import "testing"
+
+func TestDeterminismFlagsWallClockRandAndEnv(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/core/clock.go": `package core
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Stamp() int64 {
+	if os.Getenv("FAST") != "" {
+		return 0
+	}
+	_ = rand.Int()
+	return time.Now().UnixNano()
+}
+`,
+	}, NewDeterminism(DefaultRestrictedPaths))
+	expectDiags(t, diags,
+		"import of math/rand",
+		"os.Getenv",
+		"time.Now",
+	)
+}
+
+func TestDeterminismFlagsMapOrderedOutput(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/workload/dump.go": `package workload
+
+import "fmt"
+
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`,
+	}, NewDeterminism(DefaultRestrictedPaths))
+	expectDiags(t, diags, "map iteration")
+}
+
+func TestDeterminismAllowsSeededAndOutOfScopeCode(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		// Restricted package: duration constants, sorted map iteration
+		// and slice iteration with output are all fine.
+		"internal/core/ok.go": `package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+const tick = 10 * time.Millisecond
+
+func Dump(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+`,
+		// cmd/ is outside the restricted set: wall-clock timing of a
+		// run is legitimate there.
+		"cmd/tool/main.go": `package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}
+`,
+	}, NewDeterminism(DefaultRestrictedPaths))
+	expectDiags(t, diags)
+}

@@ -1,0 +1,37 @@
+package simlint
+
+import "testing"
+
+func TestFloatCompareFlagsEquality(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/stats/frac.go": `package stats
+
+func Same(a, b float64) bool { return a == b }
+
+func Changed(f float32) bool { return f != 1.0 }
+`,
+	}, NewFloatCompare(DefaultFloatComparePaths))
+	expectDiags(t, diags,
+		"floating-point == comparison",
+		"floating-point != comparison",
+	)
+}
+
+func TestFloatCompareAllowsOrderedAndOutOfScope(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		// Ordered comparisons and integer equality are fine in scope.
+		"internal/stats/ok.go": `package stats
+
+func Pos(f float64) bool { return f > 0 }
+
+func SameCount(a, b uint64) bool { return a == b }
+`,
+		// Equality on floats outside the reporting packages is out of
+		// scope (e.g. rng's theta == 1 fast path).
+		"internal/rng/rng.go": `package rng
+
+func IsUnit(theta float64) bool { return theta == 1 }
+`,
+	}, NewFloatCompare(DefaultFloatComparePaths))
+	expectDiags(t, diags)
+}

@@ -1,0 +1,106 @@
+package simlint
+
+import "testing"
+
+// cacheFixture is a miniature invariant-carrying type: Mutate and
+// Access (via its unexported helper) change state, Get does not.
+const cacheFixture = `package core
+
+type Cache struct {
+	n     int
+	valid bool
+}
+
+func (c *Cache) Mutate() { c.n++ }
+
+func (c *Cache) Access() int {
+	c.install()
+	return c.n
+}
+
+func (c *Cache) install() { c.valid = true }
+
+func (c *Cache) Get() int { return c.n }
+
+func (c *Cache) CheckInvariants() {
+	if c.n < 0 {
+		panic("core: negative count")
+	}
+}
+`
+
+var fixtureTargets = []CoverageTarget{{Rel: "internal/core", Type: "Cache"}}
+
+func TestInvariantCoverageFlagsUntestedMutators(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/core/cache.go": cacheFixture,
+		// The test calls CheckInvariants and the read-only method, but
+		// never the mutators.
+		"internal/core/cache_test.go": `package core
+
+import "testing"
+
+func TestGet(t *testing.T) {
+	var c Cache
+	_ = c.Get()
+	c.CheckInvariants()
+}
+`,
+	}, NewInvariantCoverage(fixtureTargets))
+	expectDiags(t, diags,
+		"Cache.Mutate mutates cache state",
+		"Cache.Access mutates cache state",
+	)
+}
+
+func TestInvariantCoverageSatisfiedByBracketedTests(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/core/cache.go": cacheFixture,
+		"internal/core/cache_test.go": `package core
+
+import "testing"
+
+func TestMutators(t *testing.T) {
+	var c Cache
+	c.Mutate()
+	_ = c.Access()
+	c.CheckInvariants()
+}
+`,
+	}, NewInvariantCoverage(fixtureTargets))
+	expectDiags(t, diags)
+}
+
+func TestInvariantCoverageIgnoresUncheckedTestFiles(t *testing.T) {
+	// Calling the mutators in a test that never runs CheckInvariants
+	// does not count as coverage.
+	diags := lintFixture(t, map[string]string{
+		"internal/core/cache.go": cacheFixture,
+		"internal/core/cache_test.go": `package core
+
+import "testing"
+
+func TestMutators(t *testing.T) {
+	var c Cache
+	c.Mutate()
+	_ = c.Access()
+}
+`,
+	}, NewInvariantCoverage(fixtureTargets))
+	expectDiags(t, diags,
+		"Cache.Mutate mutates cache state",
+		"Cache.Access mutates cache state",
+	)
+}
+
+func TestInvariantCoverageRequiresCheckerMethod(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/core/cache.go": `package core
+
+type Cache struct{ n int }
+
+func (c *Cache) Mutate() { c.n++ }
+`,
+	}, NewInvariantCoverage(fixtureTargets))
+	expectDiags(t, diags, "no CheckInvariants method")
+}

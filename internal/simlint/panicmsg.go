@@ -1,0 +1,82 @@
+package simlint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// sprintfFuncs are fmt helpers whose first argument carries the
+// message; panic(fmt.Sprintf("pkg: ...", ...)) is the dominant idiom.
+var sprintfFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+// NewPanicMsg builds the panic-message-convention rule: every panic in
+// an internal package must carry a constant message starting with
+// "<pkg>: " (e.g. "bus: non-positive latency"), so an invariant
+// violation deep inside a 30-minute reproduction run is immediately
+// attributable to the subsystem that detected it.
+func NewPanicMsg() *Analyzer {
+	return &Analyzer{
+		Name: "panicmsg",
+		Doc:  `panics in internal packages must carry a "pkg: " message prefix`,
+		Run: func(prog *Program, report Reporter) {
+			for _, pkg := range prog.Packages {
+				if !pkg.UnderRel("internal") {
+					continue
+				}
+				prefix := pkg.Name + ": "
+				for _, file := range pkg.Files {
+					checkPanicFile(pkg, file, prefix, report)
+				}
+			}
+		},
+	}
+}
+
+func checkPanicFile(pkg *Package, file *ast.File, prefix string, report Reporter) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "panic" || len(call.Args) != 1 {
+			return true
+		}
+		if pkg.Info != nil {
+			// Don't misfire on a local function shadowing the builtin.
+			if obj, found := pkg.Info.Uses[fn]; found && obj.Pkg() != nil {
+				return true
+			}
+		}
+		if msg, ok := panicMessage(pkg, file, call.Args[0]); !ok || !strings.HasPrefix(msg, prefix) {
+			report(call.Pos(), "panic message must be a constant string starting with %q (got %s)",
+				prefix, describePanicArg(pkg, file, call.Args[0]))
+		}
+		return true
+	})
+}
+
+// panicMessage extracts the constant head of the panic argument: a
+// string constant (or concatenation with a constant head), or the
+// format string of a fmt.Sprintf-family call.
+func panicMessage(pkg *Package, file *ast.File, arg ast.Expr) (string, bool) {
+	if s, ok := constString(pkg, arg); ok {
+		return s, true
+	}
+	if call, ok := arg.(*ast.CallExpr); ok && len(call.Args) > 0 {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			usesPackage(pkg, file, sel, "fmt") && sprintfFuncs[sel.Sel.Name] {
+			return constString(pkg, call.Args[0])
+		}
+	}
+	return "", false
+}
+
+func describePanicArg(pkg *Package, file *ast.File, arg ast.Expr) string {
+	if msg, ok := panicMessage(pkg, file, arg); ok {
+		return "\"" + msg + "\""
+	}
+	return "a non-constant message"
+}

@@ -1,0 +1,60 @@
+package simlint
+
+import "testing"
+
+func TestPanicMsgFlagsMissingPrefix(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/bus/bus.go": `package bus
+
+import "fmt"
+
+func A() { panic("non-positive latency") }
+
+func B(n int) { panic(fmt.Sprintf("bad slot count %d", n)) }
+
+func C(err error) { panic(err) }
+`,
+	}, NewPanicMsg())
+	expectDiags(t, diags,
+		`must be a constant string starting with "bus: "`,
+		`must be a constant string starting with "bus: "`,
+		`must be a constant string starting with "bus: "`,
+	)
+}
+
+func TestPanicMsgAcceptsConventionalForms(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/bus/bus.go": `package bus
+
+import "fmt"
+
+const cycleMsg = "bus: scheduling cycle"
+
+func A() { panic("bus: non-positive latency") }
+
+func B(n int) { panic(fmt.Sprintf("bus: bad slot count %d", n)) }
+
+func C(label string) { panic("bus: unknown label " + label) }
+
+func D() { panic(cycleMsg) }
+`,
+		// Outside internal/ the convention is not enforced.
+		"cmd/tool/main.go": `package main
+
+func main() { panic("anything goes") }
+`,
+	}, NewPanicMsg())
+	expectDiags(t, diags)
+}
+
+func TestPanicMsgUsesPackageNameNotDirName(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/l2/private.go": `package l2
+
+func A() { panic("l2: private line in invalid state") }
+
+func B() { panic("private: wrong prefix") }
+`,
+	}, NewPanicMsg())
+	expectDiags(t, diags, `starting with "l2: "`)
+}

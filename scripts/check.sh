@@ -21,6 +21,12 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== go test -race (short mode) =="
+go test -race -short ./...
+
+echo "== simlint =="
+go run ./cmd/simlint ./...
+
 echo "== benchmarks (1 iteration each) =="
 go test -run '^$' -bench . -benchtime 1x ./...
 
