@@ -43,7 +43,7 @@ func BenchmarkTable2(b *testing.B) {
 
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Table3()
+		experiments.Table3(42)
 	}
 }
 
@@ -122,6 +122,32 @@ func BenchmarkFigure12(b *testing.B) {
 		b.ReportMetric(e.MixSpeedup(experiments.NuRAPID), "nurapid-x")
 		b.ReportMetric(e.MixSpeedup(experiments.Private), "private-x")
 	})
+}
+
+// evaluationBench runs the whole "all" selection — plan every cell,
+// execute on the scheduler with the given worker count, render the
+// headline figure — so `go test -bench Evaluation -benchtime 1x`
+// records the sequential-vs-parallel wall-clock of the evaluation.
+func evaluationBench(b *testing.B, workers int) {
+	b.Helper()
+	sel, err := experiments.Select("all")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		e := experiments.NewEval(benchRC())
+		cells := experiments.Plan(sel, e)
+		experiments.ExecuteCells(cells, workers, nil)
+		if e.Figure10().NumRows() == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkEvaluationSequential(b *testing.B) { evaluationBench(b, 1) }
+
+func BenchmarkEvaluationParallel(b *testing.B) {
+	evaluationBench(b, experiments.DefaultParallelism())
 }
 
 // ablationBenchRC is larger than benchRC: the ablation effects only

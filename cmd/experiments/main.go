@@ -2,112 +2,100 @@
 // figures. Run with -exp all (default) or a comma-separated subset:
 //
 //	experiments -exp table1,fig5,fig10 -instr 3000000
+//
+// The requested experiments first declare every (design, workload)
+// simulation they need; a bounded worker pool (-parallel, default one
+// worker per CPU) runs those cells concurrently, then the tables are
+// rendered in fixed order from the completed cache. Tables go to
+// stdout; per-cell progress and timing go to stderr, so stdout is
+// byte-identical at any -parallel level (see docs/PARALLEL.md).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"cmpnurapid/internal/experiments"
-	"cmpnurapid/internal/stats"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges (args, streams, exit code) made
+// explicit so the CLI tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exps   = flag.String("exp", "all", "comma-separated experiments: table1..3, fig5..fig12, summary, all; ablations (opt-in): abl-promotion, abl-tags, abl-replication, abl-optimizations, abl-cmigration, abl-update, abl-dnuca, bandwidth, capacity; sensitivity: sens-size, sens-seed")
-		instr  = flag.Uint64("instr", 3_000_000, "measured instructions per core")
-		warmup = flag.Int("warmup", 5_000_000, "warm-up instructions per core")
-		seed   = flag.Uint64("seed", 42, "workload seed")
-		format = flag.String("format", "text", "output format: text or csv")
+		exps = fs.String("exp", "all", "comma-separated experiments, or all: "+
+			strings.Join(experiments.ExperimentNames(), ", ")+
+			" (ablations and sensitivity sweeps are opt-in, not part of all)")
+		instr    = fs.Uint64("instr", 3_000_000, "measured instructions per core")
+		warmup   = fs.Int("warmup", 5_000_000, "warm-up instructions per core")
+		seed     = fs.Uint64("seed", 42, "workload seed")
+		format   = fs.String("format", "text", "output format: text or csv")
+		parallel = fs.Int("parallel", experiments.DefaultParallelism(),
+			"max concurrent simulations (1 = sequential; output is identical either way)")
+		quiet = fs.Bool("quiet", false, "suppress per-cell progress lines on stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(stderr, "experiments: invalid -format %q (valid: text, csv)\n", *format)
+		return 2
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(stderr, "experiments: -parallel must be at least 1, got %d\n", *parallel)
+		return 2
+	}
+	selected, err := experiments.Select(*exps)
+	if err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 2
+	}
 
 	rc := experiments.RunConfig{WarmupInstr: *warmup, Instructions: *instr, Seed: *seed}
 	rc.Validate()
 	eval := experiments.NewEval(rc)
 
-	want := map[string]bool{}
-	for _, e := range strings.Split(*exps, ",") {
-		want[strings.TrimSpace(e)] = true
+	// Phase 1: plan and execute every simulation cell concurrently.
+	cells := experiments.Plan(selected, eval)
+	start := time.Now()
+	var progress experiments.Progress
+	if !*quiet {
+		progress = func(done, total int, key string, elapsed time.Duration) {
+			fmt.Fprintf(stderr, "[%d/%d] %s (%v)\n", done, total, key, elapsed.Round(time.Millisecond))
+		}
 	}
-	all := want["all"]
-	render := func(t *stats.Table) string {
-		if *format == "csv" {
-			return t.CSV()
-		}
-		return t.String()
-	}
-	show := func(name string, f func() *stats.Table) {
-		if !all && !want[name] {
-			return
-		}
-		start := time.Now()
-		fmt.Println(render(f()))
-		if *format == "text" {
-			fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
-		}
+	experiments.ExecuteCells(cells, *parallel, progress)
+	if !*quiet && len(cells) > 0 {
+		fmt.Fprintf(stderr, "%d simulations in %v (-parallel %d)\n",
+			len(cells), time.Since(start).Round(time.Millisecond), *parallel)
 	}
 
-	show("table1", experiments.Table1)
-	show("table2", experiments.Table2)
-	show("table3", experiments.Table3)
-	// Ablations are opt-in (not part of "all"): they re-run many
-	// CMP-NuRAPID variants.
-	showAbl := func(name string, f func(experiments.RunConfig) *stats.Table) {
-		if !want[name] {
-			return
+	// Phase 2: render from the warm cache in registry order.
+	for _, ex := range selected {
+		t0 := time.Now()
+		switch {
+		case ex.Table != nil:
+			t := ex.Table(eval)
+			if *format == "csv" {
+				fmt.Fprintln(stdout, t.CSV())
+			} else {
+				fmt.Fprintln(stdout, t.String())
+			}
+		default:
+			fmt.Fprintln(stdout, ex.Text(eval))
 		}
-		start := time.Now()
-		fmt.Println(render(f(rc)))
-		if *format == "text" {
-			fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
-		}
-	}
-	showAbl("abl-promotion", experiments.AblationPromotion)
-	showAbl("abl-tags", experiments.AblationTagCapacity)
-	showAbl("abl-replication", experiments.AblationReplicationTrigger)
-	showAbl("abl-optimizations", experiments.AblationOptimizations)
-	showAbl("abl-cmigration", experiments.AblationCMigration)
-	showAbl("abl-update", experiments.AblationUpdateProtocol)
-	showAbl("abl-dnuca", experiments.DNUCAComparison)
-	showAbl("bandwidth", experiments.BandwidthReport)
-	if want["capacity"] {
-		start := time.Now()
-		fmt.Println(render(experiments.CapacityReport(rc, 2))) // MIX3: mcf vs small apps
-		if *format == "text" {
-			fmt.Printf("[capacity regenerated in %v]\n\n", time.Since(start).Round(time.Millisecond))
+		if !*quiet {
+			fmt.Fprintf(stderr, "[%s rendered in %v]\n", ex.Name, time.Since(t0).Round(time.Millisecond))
 		}
 	}
-	if want["sens-size"] {
-		start := time.Now()
-		fmt.Println(render(experiments.SizeSensitivity(rc, []int{4, 8, 16})))
-		if *format == "text" {
-			fmt.Printf("[sens-size regenerated in %v]\n\n", time.Since(start).Round(time.Millisecond))
-		}
-	}
-	if want["sens-seed"] {
-		start := time.Now()
-		fmt.Println(render(experiments.SeedSensitivity(rc, []uint64{*seed, *seed + 1, *seed + 2})))
-		if *format == "text" {
-			fmt.Printf("[sens-seed regenerated in %v]\n\n", time.Since(start).Round(time.Millisecond))
-		}
-	}
-	show("fig5", eval.Figure5)
-	show("fig6", eval.Figure6)
-	show("fig7", eval.Figure7)
-	show("fig8", eval.Figure8)
-	show("fig9", eval.Figure9)
-	show("fig10", eval.Figure10)
-	show("fig11", eval.Figure11)
-	show("fig12", eval.Figure12)
-	if all || want["summary"] {
-		fmt.Println(eval.Summary())
-	}
-	if len(want) == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments selected")
-		os.Exit(1)
-	}
+	return 0
 }

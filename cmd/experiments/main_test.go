@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+// TestUnknownExperimentExitsNonZero covers the bug this PR fixes: a
+// typo like -exp fig13 used to print nothing and exit 0.
+func TestUnknownExperimentExitsNonZero(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "-exp", "fig13")
+	if code == 0 {
+		t.Fatal("-exp fig13 exited 0")
+	}
+	if stdout != "" {
+		t.Errorf("unexpected stdout: %q", stdout)
+	}
+	if !strings.Contains(stderr, "fig13") {
+		t.Errorf("stderr does not name the unknown experiment: %q", stderr)
+	}
+	for _, want := range []string{"fig5", "table1", "abl-promotion"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr does not list valid name %s: %q", want, stderr)
+		}
+	}
+}
+
+// TestEmptySelectionExitsNonZero: strings.Split("", ",") returns [""],
+// so the old len(want)==0 guard was dead code and -exp "" fell through
+// silently.
+func TestEmptySelectionExitsNonZero(t *testing.T) {
+	for _, spec := range []string{"", " ", ","} {
+		_, stderr, code := runCLI(t, "-exp", spec)
+		if code == 0 {
+			t.Errorf("-exp %q exited 0", spec)
+		}
+		if !strings.Contains(stderr, "valid names") {
+			t.Errorf("-exp %q: stderr does not list valid names: %q", spec, stderr)
+		}
+	}
+}
+
+// TestInvalidFormatRejected: -format used to accept any string and
+// silently fall back to text.
+func TestInvalidFormatRejected(t *testing.T) {
+	_, stderr, code := runCLI(t, "-format", "yaml", "-exp", "table1")
+	if code == 0 {
+		t.Fatal("-format yaml exited 0")
+	}
+	if !strings.Contains(stderr, "yaml") || !strings.Contains(stderr, "csv") {
+		t.Errorf("stderr does not explain valid formats: %q", stderr)
+	}
+}
+
+func TestInvalidParallelRejected(t *testing.T) {
+	_, stderr, code := runCLI(t, "-parallel", "0", "-exp", "table1")
+	if code == 0 {
+		t.Fatal("-parallel 0 exited 0")
+	}
+	if !strings.Contains(stderr, "parallel") {
+		t.Errorf("stderr does not mention -parallel: %q", stderr)
+	}
+}
+
+// TestParallelOutputMatchesSequential is the scheduler's end-to-end
+// determinism contract at the CLI surface: the same selection at
+// -parallel 1 and -parallel 8 must write byte-identical stdout. Runs
+// at tiny scale so the race-short gate exercises the concurrent path.
+func TestParallelOutputMatchesSequential(t *testing.T) {
+	args := []string{"-exp", "table1,table3,fig7", "-warmup", "30000", "-instr", "30000", "-quiet"}
+	seqOut, _, seqCode := runCLI(t, append(args, "-parallel", "1")...)
+	parOut, _, parCode := runCLI(t, append(args, "-parallel", "8")...)
+	if seqCode != 0 || parCode != 0 {
+		t.Fatalf("exit codes: sequential %d, parallel %d", seqCode, parCode)
+	}
+	if seqOut != parOut {
+		t.Errorf("parallel stdout differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqOut, parOut)
+	}
+	if !strings.Contains(seqOut, "Figure 7") || !strings.Contains(seqOut, "Table 3") {
+		t.Errorf("selection did not render the requested tables:\n%s", seqOut)
+	}
+}
+
+// TestProgressOnStderr: cell progress and render timings go to stderr,
+// never stdout (stdout must stay byte-identical across -parallel).
+func TestProgressOnStderr(t *testing.T) {
+	stdout, stderr, code := runCLI(t,
+		"-exp", "fig7", "-warmup", "20000", "-instr", "20000", "-parallel", "4")
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "[1/") || !strings.Contains(stderr, "rendered in") {
+		t.Errorf("stderr missing progress lines: %q", stderr)
+	}
+	if strings.Contains(stdout, "rendered in") || strings.Contains(stdout, "[1/") {
+		t.Error("progress leaked onto stdout")
+	}
+}
+
+// TestCSVFormat: -format csv renders tables as CSV on stdout.
+func TestCSVFormat(t *testing.T) {
+	stdout, _, code := runCLI(t, "-exp", "table1", "-format", "csv", "-quiet")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(stdout, ",") || !strings.Contains(stdout, "Latency") {
+		t.Errorf("csv output suspicious:\n%s", stdout)
+	}
+}

@@ -20,6 +20,15 @@ func TestFullReproduction(t *testing.T) {
 	}
 	e := experiments.NewEval(experiments.DefaultRunConfig())
 
+	// Fill the run cache on the parallel scheduler first: concurrency
+	// cannot change any number (single-fill cache, per-run seeded
+	// streams), only the wall-clock this test costs.
+	sel, err := experiments.Select("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments.ExecuteCells(experiments.Plan(sel, e), experiments.DefaultParallelism(), nil)
+
 	// Figure 10: CMP-NuRAPID beats shared and private; the fraction of
 	// ideal's gain it captures matches the paper's 0.76 within 0.1.
 	nur, priv, ideal := e.Speedup(experiments.NuRAPID), e.Speedup(experiments.Private), e.Speedup(experiments.Ideal)

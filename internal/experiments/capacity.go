@@ -10,6 +10,20 @@ import (
 	"cmpnurapid/internal/workload"
 )
 
+// capacityMixIdx selects MIX3 (mcf vs small apps), the mix whose
+// non-uniform demand makes capacity stealing most visible.
+const capacityMixIdx = 2
+
+func capacityKey(mixIdx int) string { return fmt.Sprintf("cap/%d", mixIdx) }
+
+// capacityCell declares the report's single simulation. The whole
+// rendered table is the memo value: the report reads structural state
+// (tag and frame occupancy) off the live cache, so the run and its
+// rendering are one unit.
+func (e *Eval) capacityCell(mixIdx int) Cell {
+	return Cell{Key: capacityKey(mixIdx), Run: func() { e.CapacityReport(mixIdx) }}
+}
+
 // CapacityReport makes capacity stealing visible structurally: for a
 // multiprogrammed mix on CMP-NuRAPID, it reports each core's tag
 // occupancy (how many blocks it can reach), each d-group's frame
@@ -17,7 +31,18 @@ import (
 // d-group — the "cores with more capacity demand demote their
 // less-frequently-used data to unused frames in the d-groups closer to
 // the cores with less capacity demands" of §3.3.
+func (e *Eval) CapacityReport(mixIdx int) *stats.Table {
+	return e.memo(capacityKey(mixIdx), func() any {
+		return capacityTable(e.RC, mixIdx)
+	}).(*stats.Table)
+}
+
+// CapacityReport is the sequential wrapper used by tests.
 func CapacityReport(rc RunConfig, mixIdx int) *stats.Table {
+	return capacityTable(rc, mixIdx)
+}
+
+func capacityTable(rc RunConfig, mixIdx int) *stats.Table {
 	m := workload.Mixes(rc.Seed)[mixIdx]
 	apps := m.Apps()
 	nu := core.New(core.DefaultConfig())

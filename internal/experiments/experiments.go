@@ -157,11 +157,12 @@ func Table2() *stats.Table {
 
 // Table3 lists the multithreaded workloads and their synthetic-profile
 // parameters (the reproduction's analogue of the paper's workload
-// descriptions).
-func Table3() *stats.Table {
+// descriptions). It takes the run seed so the printed profiles always
+// describe the streams the figures actually ran.
+func Table3(seed uint64) *stats.Table {
 	t := stats.NewTable("Table 3: Multithreaded Workloads (synthetic profiles)",
 		"Workload", "Instr", "RO", "RW", "Private/core", "Footprint")
-	for _, p := range workload.Multithreaded(1) {
+	for _, p := range workload.Multithreaded(seed) {
 		perCore := (p.PrivateBlocks[0] + p.CodeBlocks + p.ROBlocks + p.RWBlocks) * workload.BlockBytes
 		t.Row(p.Name,
 			stats.Pct(p.InstrFrac), stats.Pct(p.ROFrac), stats.Pct(p.RWFrac),

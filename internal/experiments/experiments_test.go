@@ -59,7 +59,7 @@ func TestTable2MatchesPaper(t *testing.T) {
 }
 
 func TestTable3ListsAllWorkloads(t *testing.T) {
-	s := Table3().String()
+	s := Table3(42).String()
 	for _, w := range []string{"oltp", "apache", "specjbb", "ocean", "barnes"} {
 		if !strings.Contains(s, w) {
 			t.Errorf("Table 3 missing %s", w)

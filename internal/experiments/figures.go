@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"cmpnurapid/internal/cmpsim"
 	"cmpnurapid/internal/memsys"
@@ -9,13 +10,30 @@ import (
 	"cmpnurapid/internal/workload"
 )
 
-// Eval lazily runs and caches (design, workload) simulations so the
-// figures that share runs (5/6 and 8/9/10, 11/12) reuse them.
+// Eval runs and caches (design, workload) simulations so the figures
+// that share runs (5/6 and 8/9/10, 11/12) reuse them. The cache is
+// concurrency-safe with single-fill semantics: when the scheduler
+// (scheduler.go) executes an evaluation's cells on a worker pool, a
+// cell requested by several figures is simulated exactly once, and
+// figures rendered afterwards read the completed entries without
+// running anything. Sequential use (call a FigureN method directly)
+// still works: a missing entry is filled on demand.
 type Eval struct {
 	RC       RunConfig
 	profiles []workload.Profile
 	mixes    []*workload.Multiprogrammed
-	cache    map[string]cmpsim.Results
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+}
+
+// cacheEntry is one memoized simulation (or derived value). The entry
+// is inserted under Eval.mu, but filled under its own once so that
+// concurrent requesters of *different* keys never serialize on the
+// evaluation-wide lock while a simulation runs.
+type cacheEntry struct {
+	once sync.Once
+	val  any
 }
 
 // NewEval builds an evaluation context at the given scale.
@@ -24,8 +42,29 @@ func NewEval(rc RunConfig) *Eval {
 		RC:       rc,
 		profiles: workload.Multithreaded(rc.Seed),
 		mixes:    workload.Mixes(rc.Seed),
-		cache:    map[string]cmpsim.Results{},
+		cache:    map[string]*cacheEntry{},
 	}
+}
+
+// memo returns the value cached under key, computing it at most once
+// even when called concurrently (every caller blocks until the single
+// fill completes). Each fill draws only from its own seeded workload
+// split, so the value is independent of which goroutine fills it.
+func (e *Eval) memo(key string, fill func() any) any {
+	e.mu.Lock()
+	ent, ok := e.cache[key]
+	if !ok {
+		ent = &cacheEntry{}
+		e.cache[key] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() { ent.val = fill() })
+	return ent.val
+}
+
+// results is memo specialized to simulation results, the common case.
+func (e *Eval) results(key string, fill func() cmpsim.Results) cmpsim.Results {
+	return e.memo(key, func() any { return fill() }).(cmpsim.Results)
 }
 
 // Profiles returns the multithreaded workloads in Figure 5 order.
@@ -34,35 +73,92 @@ func (e *Eval) Profiles() []workload.Profile { return e.profiles }
 // Mixes returns the Table 2 workloads.
 func (e *Eval) Mixes() []*workload.Multiprogrammed { return e.mixes }
 
+// commercial returns the three commercial workloads the headline
+// numbers average over (the first three of the Figure 5 order).
+func (e *Eval) commercial() []workload.Profile { return e.profiles[:3] }
+
+func mtKey(d DesignName, p workload.Profile) string { return "mt/" + string(d) + "/" + p.Name }
+
+func (e *Eval) mpKey(d DesignName, mixIdx int) string {
+	return "mp/" + string(d) + "/" + e.mixes[mixIdx].Name()
+}
+
 // MT returns the cached result for (design, multithreaded workload).
 func (e *Eval) MT(d DesignName, p workload.Profile) cmpsim.Results {
-	key := string(d) + "/" + p.Name
-	if r, ok := e.cache[key]; ok {
-		return r
-	}
-	r := RunProfile(d, p, e.RC)
-	e.cache[key] = r
-	return r
+	return e.results(mtKey(d, p), func() cmpsim.Results {
+		return RunProfile(d, p, e.RC)
+	})
 }
 
 // MP returns the cached result for (design, mix).
 func (e *Eval) MP(d DesignName, mixIdx int) cmpsim.Results {
-	m := e.mixes[mixIdx]
-	key := string(d) + "/" + m.Name()
-	if r, ok := e.cache[key]; ok {
-		return r
+	return e.results(e.mpKey(d, mixIdx), func() cmpsim.Results {
+		// Each design must see identical streams: fresh generator per run.
+		fresh := workload.Mixes(e.RC.Seed)[mixIdx]
+		return Run(d, fresh, e.RC)
+	})
+}
+
+// mtCells declares one cell per (design, profile) pair; running a cell
+// fills the MT cache entry the figures read.
+func (e *Eval) mtCells(designs []DesignName, profiles []workload.Profile) []Cell {
+	cells := make([]Cell, 0, len(designs)*len(profiles))
+	for _, p := range profiles {
+		for _, d := range designs {
+			cells = append(cells, Cell{Key: mtKey(d, p), Run: func() { e.MT(d, p) }})
+		}
 	}
-	// Each design must see identical streams: fresh generator per run.
-	fresh := workload.Mixes(e.RC.Seed)[mixIdx]
-	r := Run(d, fresh, e.RC)
-	e.cache[key] = r
-	return r
+	return cells
+}
+
+// mpCells declares one cell per (design, mix) pair.
+func (e *Eval) mpCells(designs []DesignName) []Cell {
+	cells := make([]Cell, 0, len(designs)*len(e.mixes))
+	for i := range e.mixes {
+		for _, d := range designs {
+			cells = append(cells, Cell{Key: e.mpKey(d, i), Run: func() { e.MP(d, i) }})
+		}
+	}
+	return cells
+}
+
+// Per-figure design series. The cell declarations below and the
+// renderers share these so the plan always matches what rendering
+// reads.
+var (
+	figure5Designs  = []DesignName{UniformShared, Private}
+	figure6Designs  = []DesignName{NonUniform, Private, Ideal}
+	figure8Designs  = []DesignName{UniformShared, Private, NuRAPIDCR, NuRAPIDISC}
+	figure9Designs  = []DesignName{NuRAPIDCR, NuRAPIDISC}
+	figure10Designs = []DesignName{NonUniform, Private, Ideal, NuRAPID}
+	figure11Designs = []DesignName{UniformShared, Private, NuRAPID}
+	figure12Designs = []DesignName{NonUniform, Private, NuRAPID}
+)
+
+// withBaseline prepends the uniform-shared baseline the relative
+// figures normalize against.
+func withBaseline(designs []DesignName) []DesignName {
+	return append([]DesignName{UniformShared}, designs...)
+}
+
+func (e *Eval) figure5Cells() []Cell { return e.mtCells(figure5Designs, e.profiles) }
+func (e *Eval) figure6Cells() []Cell { return e.mtCells(withBaseline(figure6Designs), e.profiles) }
+func (e *Eval) figure7Cells() []Cell { return e.mtCells([]DesignName{Private}, e.profiles) }
+func (e *Eval) figure8Cells() []Cell { return e.mtCells(figure8Designs, e.profiles) }
+func (e *Eval) figure9Cells() []Cell { return e.mtCells(figure9Designs, e.profiles) }
+func (e *Eval) figure10Cells() []Cell {
+	return e.mtCells(withBaseline(figure10Designs), e.profiles)
+}
+func (e *Eval) figure11Cells() []Cell { return e.mpCells(figure11Designs) }
+func (e *Eval) figure12Cells() []Cell { return e.mpCells(withBaseline(figure12Designs)) }
+func (e *Eval) summaryCells() []Cell {
+	return e.mtCells([]DesignName{UniformShared, Private, NuRAPID}, e.commercial())
 }
 
 // commercialAvg averages a metric over the three commercial workloads.
 func (e *Eval) commercialAvg(f func(p workload.Profile) float64) float64 {
 	sum := 0.0
-	for _, p := range e.profiles[:3] {
+	for _, p := range e.commercial() {
 		sum += f(p)
 	}
 	return sum / 3
@@ -91,14 +187,14 @@ func (e *Eval) Figure5() *stats.Table {
 	t := stats.NewTable("Figure 5: Distribution of Cache Accesses (fraction of L2 accesses)",
 		"Workload", "Design", "Hits", "ROS miss", "RWS miss", "Capacity miss", "# hits  r ROS  w RWS  . capacity")
 	for _, p := range e.profiles {
-		for _, d := range []DesignName{UniformShared, Private} {
+		for _, d := range figure5Designs {
 			s := e.MT(d, p).L2
 			row := append([]string{p.Name, string(d)}, accessRow(s)...)
 			row = append(row, accessBar(s))
 			t.Row(row...)
 		}
 	}
-	for _, d := range []DesignName{UniformShared, Private} {
+	for _, d := range figure5Designs {
 		avg := e.avgAccessRow(d)
 		t.Row(append([]string{"commercial-avg", string(d)}, avg...)...)
 	}
@@ -122,7 +218,7 @@ func (e *Eval) avgAccessRow(d DesignName) []string {
 func (e *Eval) Figure6() *stats.Table {
 	return e.perfTable(
 		"Figure 6: Performance Opportunity (relative to uniform-shared)",
-		[]DesignName{NonUniform, Private, Ideal})
+		figure6Designs)
 }
 
 // Figure10 regenerates the headline performance figure, adding
@@ -130,7 +226,7 @@ func (e *Eval) Figure6() *stats.Table {
 func (e *Eval) Figure10() *stats.Table {
 	return e.perfTable(
 		"Figure 10: Performance (relative to uniform-shared)",
-		[]DesignName{NonUniform, Private, Ideal, NuRAPID})
+		figure10Designs)
 }
 
 func (e *Eval) perfTable(title string, designs []DesignName) *stats.Table {
@@ -179,14 +275,13 @@ func (e *Eval) Figure7() *stats.Table {
 		t.Row(p.Name, "ROS-replaced", stats.Pct(ros[0]), stats.Pct(ros[1]), stats.Pct(ros[2]), stats.Pct(ros[3]))
 		t.Row(p.Name, "RWS-invalidated", stats.Pct(rws[0]), stats.Pct(rws[1]), stats.Pct(rws[2]), stats.Pct(rws[3]))
 	}
-	for i, p := range e.profiles[:3] {
+	for _, p := range e.commercial() {
 		s := e.MT(Private, p).L2
 		ros, rws := s.ReuseROS.Fracs(), s.ReuseRWS.Fracs()
 		for b := 0; b < 4; b++ {
 			avgROS[b] += ros[b] / 3
 			avgRWS[b] += rws[b] / 3
 		}
-		_ = i
 	}
 	t.Row("commercial-avg", "ROS-replaced", stats.Pct(avgROS[0]), stats.Pct(avgROS[1]), stats.Pct(avgROS[2]), stats.Pct(avgROS[3]))
 	t.Row("commercial-avg", "RWS-invalidated", stats.Pct(avgRWS[0]), stats.Pct(avgRWS[1]), stats.Pct(avgRWS[2]), stats.Pct(avgRWS[3]))
@@ -197,7 +292,7 @@ func (e *Eval) Figure7() *stats.Table {
 // and EXPERIMENTS.md (kind: true = ROS, false = RWS).
 func (e *Eval) ReuseFracs(ros bool) [4]float64 {
 	var avg [4]float64
-	for _, p := range e.profiles[:3] {
+	for _, p := range e.commercial() {
 		s := e.MT(Private, p).L2
 		var f [4]float64
 		if ros {
@@ -217,13 +312,12 @@ func (e *Eval) ReuseFracs(ros bool) [4]float64 {
 func (e *Eval) Figure8() *stats.Table {
 	t := stats.NewTable("Figure 8: Distribution of Tag Array Accesses",
 		"Workload", "Design", "Hits", "ROS miss", "RWS miss", "Capacity miss")
-	designs := []DesignName{UniformShared, Private, NuRAPIDCR, NuRAPIDISC}
 	for _, p := range e.profiles {
-		for _, d := range designs {
+		for _, d := range figure8Designs {
 			t.Row(append([]string{p.Name, string(d)}, accessRow(e.MT(d, p).L2)...)...)
 		}
 	}
-	for _, d := range designs {
+	for _, d := range figure8Designs {
 		t.Row(append([]string{"commercial-avg", string(d)}, e.avgAccessRow(d)...)...)
 	}
 	return t
@@ -242,9 +336,8 @@ func (e *Eval) MissFrac(d DesignName, label string) float64 {
 func (e *Eval) Figure9() *stats.Table {
 	t := stats.NewTable("Figure 9: Distribution of Data Array Accesses",
 		"Workload", "Design", "Closest d-grp", "Farther d-grps", "Misses")
-	designs := []DesignName{NuRAPIDCR, NuRAPIDISC}
 	for _, p := range e.profiles {
-		for _, d := range designs {
+		for _, d := range figure9Designs {
 			s := e.MT(d, p).L2
 			t.Row(p.Name, string(d),
 				stats.Pct(s.DataArray.Frac(memsys.LabelClosest)),
@@ -252,7 +345,7 @@ func (e *Eval) Figure9() *stats.Table {
 				stats.Pct(s.DataArray.Frac(memsys.LabelMiss)))
 		}
 	}
-	for _, d := range designs {
+	for _, d := range figure9Designs {
 		t.Row("commercial-avg", string(d),
 			stats.Pct(e.dataFrac(d, memsys.LabelClosest)),
 			stats.Pct(e.dataFrac(d, memsys.LabelFarther)),
@@ -275,17 +368,16 @@ func (e *Eval) DataFrac(d DesignName, label string) float64 { return e.dataFrac(
 func (e *Eval) Figure11() *stats.Table {
 	t := stats.NewTable("Figure 11: Distribution of Cache Accesses (multiprogrammed)",
 		"Workload", "Design", "Hits", "Misses")
-	designs := []DesignName{UniformShared, Private, NuRAPID}
 	avg := map[DesignName]float64{}
 	for i, m := range e.mixes {
-		for _, d := range designs {
+		for _, d := range figure11Designs {
 			s := e.MP(d, i).L2
 			t.Row(m.Name(), string(d),
 				stats.Pct(s.Accesses.Frac(memsys.LabelHit)), stats.Pct(s.MissRate()))
 			avg[d] += s.MissRate() / float64(len(e.mixes))
 		}
 	}
-	for _, d := range designs {
+	for _, d := range figure11Designs {
 		t.Row("average", string(d), stats.Pct(1-avg[d]), stats.Pct(avg[d]))
 	}
 	return t
@@ -303,9 +395,8 @@ func (e *Eval) MixMissRate(d DesignName) float64 {
 // Figure12 regenerates the multiprogrammed IPC figure: non-uniform-
 // shared, private, and CMP-NuRAPID relative to uniform-shared.
 func (e *Eval) Figure12() *stats.Table {
-	designs := []DesignName{NonUniform, Private, NuRAPID}
 	header := []string{"Workload"}
-	for _, d := range designs {
+	for _, d := range figure12Designs {
 		header = append(header, string(d))
 	}
 	t := stats.NewTable("Figure 12: Performance, multiprogrammed (IPC relative to uniform-shared)", header...)
@@ -313,7 +404,7 @@ func (e *Eval) Figure12() *stats.Table {
 	for i, m := range e.mixes {
 		base := e.MP(UniformShared, i)
 		row := []string{m.Name()}
-		for _, d := range designs {
+		for _, d := range figure12Designs {
 			sp := cmpsim.Speedup(e.MP(d, i), base)
 			row = append(row, stats.Rel(sp))
 			avg[d] += sp / float64(len(e.mixes))
@@ -321,7 +412,7 @@ func (e *Eval) Figure12() *stats.Table {
 		t.Row(row...)
 	}
 	row := []string{"average"}
-	for _, d := range designs {
+	for _, d := range figure12Designs {
 		row = append(row, stats.Rel(avg[d]))
 	}
 	t.Row(row...)

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSelectAll(t *testing.T) {
+	sel, err := Select("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, ex := range sel {
+		if !ex.InAll {
+			t.Errorf("Select(all) included opt-in experiment %s", ex.Name)
+		}
+		names[ex.Name] = true
+	}
+	for _, want := range []string{"table1", "table3", "fig5", "fig12", "summary"} {
+		if !names[want] {
+			t.Errorf("Select(all) missing %s", want)
+		}
+	}
+	if names["abl-promotion"] || names["sens-seed"] {
+		t.Error("ablations/sensitivity must be opt-in, not part of all")
+	}
+}
+
+func TestSelectAllPlusOptIn(t *testing.T) {
+	sel, err := Select("all,abl-promotion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ex := range sel {
+		if ex.Name == "abl-promotion" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("all,abl-promotion did not include the ablation")
+	}
+}
+
+func TestSelectUnknownName(t *testing.T) {
+	_, err := Select("fig13")
+	if err == nil {
+		t.Fatal("unknown experiment name accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "fig13") {
+		t.Errorf("error does not name the offender: %v", err)
+	}
+	for _, want := range []string{"fig5", "table1", "summary", "abl-promotion"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error does not list valid name %s: %v", want, err)
+		}
+	}
+}
+
+func TestSelectEmpty(t *testing.T) {
+	for _, spec := range []string{"", " ", ",", " , "} {
+		if _, err := Select(spec); err == nil {
+			t.Errorf("empty selection %q accepted", spec)
+		}
+	}
+}
+
+func TestSelectPreservesRenderOrder(t *testing.T) {
+	// Selection order must be the registry's rendering order, not the
+	// order the user typed the names in.
+	sel, err := Select("fig10,table1,fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, ex := range sel {
+		got = append(got, ex.Name)
+	}
+	want := []string{"table1", "fig5", "fig10"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("render order %v, want %v", got, want)
+	}
+}
+
+func TestExperimentsDeclareRenderers(t *testing.T) {
+	for _, ex := range Experiments() {
+		if (ex.Table == nil) == (ex.Text == nil) {
+			t.Errorf("%s must declare exactly one of Table/Text", ex.Name)
+		}
+	}
+}
+
+// TestPlanDeduplicates: figures 8, 9, and 10 share runs; the plan must
+// request each (design, workload) cell once.
+func TestPlanDeduplicates(t *testing.T) {
+	e := NewEval(RunConfig{WarmupInstr: 1, Instructions: 1, Seed: 1})
+	sel, err := Select("fig8,fig9,fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := Plan(sel, e)
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if seen[c.Key] {
+			t.Errorf("duplicate cell %s in plan", c.Key)
+		}
+		seen[c.Key] = true
+	}
+	// fig8: shared, private, CR, ISC; fig9: CR, ISC (shared with fig8);
+	// fig10: shared (dup), snuca, private (dup), ideal, NuRAPID.
+	// Unique designs: shared, private, CR, ISC, snuca, ideal, NuRAPID = 7
+	// across 5 profiles.
+	if want := 7 * len(e.Profiles()); len(cells) != want {
+		t.Errorf("plan has %d cells, want %d", len(cells), want)
+	}
+}
+
+// TestExecuteCellsSingleFill: many cells racing on few cache keys must
+// fill each key exactly once.
+func TestExecuteCellsSingleFill(t *testing.T) {
+	e := NewEval(RunConfig{WarmupInstr: 1, Instructions: 1, Seed: 1})
+	var fills atomic.Int64
+	var cells []Cell
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("test/key%d", i%4)
+		cells = append(cells, Cell{Key: key, Run: func() {
+			e.memo(key, func() any {
+				fills.Add(1)
+				return key
+			})
+		}})
+	}
+	ExecuteCells(cells, 8, nil)
+	if got := fills.Load(); got != 4 {
+		t.Errorf("filled %d times, want 4 (single-fill broken)", got)
+	}
+}
+
+// TestExecuteCellsProgress: the progress callback is serialized and
+// sees every completion exactly once, in counting order.
+func TestExecuteCellsProgress(t *testing.T) {
+	var cells []Cell
+	for i := 0; i < 17; i++ {
+		cells = append(cells, Cell{Key: fmt.Sprintf("c%d", i), Run: func() {}})
+	}
+	var dones []int
+	ExecuteCells(cells, 4, func(done, total int, key string, _ time.Duration) {
+		dones = append(dones, done)
+		if total != len(cells) {
+			t.Errorf("progress total %d, want %d", total, len(cells))
+		}
+	})
+	if len(dones) != len(cells) {
+		t.Fatalf("progress called %d times, want %d", len(dones), len(cells))
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("done sequence out of order at %d: %v", i, dones)
+		}
+	}
+}
+
+// TestSchedulerEquivalence is the determinism contract: a parallel
+// execution of the plan followed by rendering must produce the exact
+// bytes a purely sequential evaluation produces. Runs at tiny scale so
+// the race-short gate (`go test -race -short`) exercises the
+// concurrent path on every CI run.
+func TestSchedulerEquivalence(t *testing.T) {
+	rc := RunConfig{WarmupInstr: 20_000, Instructions: 20_000, Seed: 9}
+	render := func(e *Eval) string {
+		return e.Figure5().String() + "\n" + e.Figure11().String() + "\n" + e.Summary()
+	}
+
+	seq := NewEval(rc) // no scheduling: every run fills on demand
+	seqOut := render(seq)
+
+	par := NewEval(rc)
+	sel, err := Select("fig5,fig11,summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ExecuteCells(Plan(sel, par), 8, nil)
+	parOut := render(par)
+
+	if seqOut != parOut {
+		t.Errorf("parallel rendering differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqOut, parOut)
+	}
+}

@@ -44,27 +44,58 @@ func SizedDesign(d DesignName, totalBytes int) memsys.L2 {
 	panic(fmt.Sprintf("experiments: SizedDesign does not support %q", d))
 }
 
+// sizeSweepMB is the capacity sweep the "sens-size" experiment runs.
+var sizeSweepMB = []int{4, 8, 16}
+
+// sizeSweepDesigns are the designs compared at each capacity point
+// (uniform-shared is the per-point baseline).
+var sizeSweepDesigns = []DesignName{Private, NuRAPID}
+
+func sizedKey(d DesignName, totalMB int) string {
+	return fmt.Sprintf("sens/size/%dMB/%s", totalMB, d)
+}
+
+// sizedRun memoizes one (design, capacity) point of the sweep.
+func (e *Eval) sizedRun(d DesignName, totalMB int) cmpsim.Results {
+	return e.results(sizedKey(d, totalMB), func() cmpsim.Results {
+		return runSized(d, totalMB<<20, e.RC)
+	})
+}
+
+func (e *Eval) sizeSensitivityCells(totalsMB []int) []Cell {
+	var cells []Cell
+	for _, mb := range totalsMB {
+		for _, d := range withBaseline(sizeSweepDesigns) {
+			cells = append(cells, Cell{Key: sizedKey(d, mb), Run: func() { e.sizedRun(d, mb) }})
+		}
+	}
+	return cells
+}
+
 // SizeSensitivity sweeps the total L2 capacity on one commercial
 // workload and reports each design's speedup over the same-size
 // uniform-shared cache. Smaller caches raise capacity pressure (CR's
 // territory); larger ones leave latency as the only differentiator.
-func SizeSensitivity(rc RunConfig, totalsMB []int) *stats.Table {
+func (e *Eval) SizeSensitivity(totalsMB []int) *stats.Table {
 	header := []string{"Total L2"}
-	for _, d := range []DesignName{Private, NuRAPID} {
+	for _, d := range sizeSweepDesigns {
 		header = append(header, string(d))
 	}
 	t := stats.NewTable("Sensitivity: total L2 capacity (speedup vs same-size uniform-shared, OLTP)", header...)
 	for _, mb := range totalsMB {
-		total := mb << 20
 		row := []string{fmt.Sprintf("%d MB", mb)}
-		base := runSized(UniformShared, total, rc)
-		for _, d := range []DesignName{Private, NuRAPID} {
-			r := runSized(d, total, rc)
-			row = append(row, stats.Rel(cmpsim.Speedup(r, base)))
+		base := e.sizedRun(UniformShared, mb)
+		for _, d := range sizeSweepDesigns {
+			row = append(row, stats.Rel(cmpsim.Speedup(e.sizedRun(d, mb), base)))
 		}
 		t.Row(row...)
 	}
 	return t
+}
+
+// SizeSensitivity is the sequential wrapper used by tests.
+func SizeSensitivity(rc RunConfig, totalsMB []int) *stats.Table {
+	return NewEval(rc).SizeSensitivity(totalsMB)
 }
 
 func runSized(d DesignName, totalBytes int, rc RunConfig) cmpsim.Results {
@@ -83,34 +114,77 @@ func SizeSpeedups(rc RunConfig, totalMB int) (private, nurapid float64) {
 		cmpsim.Speedup(runSized(NuRAPID, total, rc), base)
 }
 
+// seedSweep is the seed series the "sens-seed" experiment reruns the
+// headline comparison over: the configured seed and its two
+// successors (matching the historical cmd/experiments default).
+func (e *Eval) seedSweep() []uint64 {
+	return []uint64{e.RC.Seed, e.RC.Seed + 1, e.RC.Seed + 2}
+}
+
+// seedSweepDesigns are the designs whose commercial-average speedups
+// the sweep reports (plus the uniform-shared baseline each needs).
+var seedSweepDesigns = []DesignName{Private, NuRAPID, Ideal}
+
+// subEval returns a child evaluation at the same scale but a different
+// seed, memoized so cells and rendering share one instance (and one
+// run cache). For the evaluation's own seed it returns e itself, so a
+// combined "-exp all,sens-seed" reuses the figures' runs.
+func (e *Eval) subEval(seed uint64) *Eval {
+	if seed == e.RC.Seed {
+		return e
+	}
+	return e.memo(fmt.Sprintf("eval/seed/%d", seed), func() any {
+		rcs := e.RC
+		rcs.Seed = seed
+		return NewEval(rcs)
+	}).(*Eval)
+}
+
+func (e *Eval) seedSensitivityCells(seeds []uint64) []Cell {
+	var cells []Cell
+	for _, seed := range seeds {
+		sub := e.subEval(seed)
+		// Namespace the child's cells by seed: the same (design,
+		// workload) pair at two seeds is two distinct simulations, and
+		// the planner deduplicates by key.
+		prefix := fmt.Sprintf("seed/%d/", seed)
+		for _, c := range sub.mtCells(withBaseline(seedSweepDesigns), sub.commercial()) {
+			cells = append(cells, Cell{Key: prefix + c.Key, Run: c.Run})
+		}
+	}
+	return cells
+}
+
 // SeedSensitivity reruns the Figure 10 headline comparison across
 // seeds and reports each design's commercial-average speedup per seed;
 // the orderings must be stable for the reproduction's claims to mean
 // anything (the paper likewise accounts for multithreaded variability
 // by rerunning with perturbations, §4.3).
-func SeedSensitivity(rc RunConfig, seeds []uint64) *stats.Table {
+func (e *Eval) SeedSensitivity(seeds []uint64) *stats.Table {
 	t := stats.NewTable("Sensitivity: workload seed (commercial-avg speedup vs uniform-shared)",
 		"Seed", "private", "CMP-NuRAPID", "ideal")
 	for _, seed := range seeds {
-		rcs := rc
-		rcs.Seed = seed
-		e := NewEval(rcs)
+		sub := e.subEval(seed)
 		t.Row(fmt.Sprint(seed),
-			stats.Rel(e.Speedup(Private)),
-			stats.Rel(e.Speedup(NuRAPID)),
-			stats.Rel(e.Speedup(Ideal)))
+			stats.Rel(sub.Speedup(Private)),
+			stats.Rel(sub.Speedup(NuRAPID)),
+			stats.Rel(sub.Speedup(Ideal)))
 	}
 	return t
+}
+
+// SeedSensitivity is the sequential wrapper used by tests.
+func SeedSensitivity(rc RunConfig, seeds []uint64) *stats.Table {
+	return NewEval(rc).SeedSensitivity(seeds)
 }
 
 // SeedOrderingStable reports whether NuRAPID > private > 1 holds for
 // every seed (used by tests).
 func SeedOrderingStable(rc RunConfig, seeds []uint64) bool {
+	e := NewEval(rc)
 	for _, seed := range seeds {
-		rcs := rc
-		rcs.Seed = seed
-		e := NewEval(rcs)
-		nur, priv := e.Speedup(NuRAPID), e.Speedup(Private)
+		sub := e.subEval(seed)
+		nur, priv := sub.Speedup(NuRAPID), sub.Speedup(Private)
 		if !(nur > priv && priv > 1) {
 			return false
 		}

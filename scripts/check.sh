@@ -27,6 +27,9 @@ go test -race -short ./...
 echo "== simlint =="
 go run ./cmd/simlint ./...
 
+echo "== experiments smoke (parallel scheduler, quick scale) =="
+go run ./cmd/experiments -exp table1,fig5 -parallel 4 -warmup 200000 -instr 200000 -quiet > /dev/null
+
 echo "== benchmarks (1 iteration each) =="
 go test -run '^$' -bench . -benchtime 1x ./...
 
