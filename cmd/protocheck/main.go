@@ -1,0 +1,145 @@
+// Command protocheck model-checks the coherence protocols in
+// internal/coherence (see internal/protocheck):
+//
+//   - golden drift: the transition functions must match the Figure 4
+//     encoding in internal/protocheck/golden.go exactly;
+//   - totality: the processor side never panics on an in-protocol
+//     input;
+//   - reachability: BFS over the joint state space of N caches (2..n)
+//     checking SWMR, S/C exclusion, no exit from C, and no panics on
+//     reachable inputs; snoop inputs that panic must be BFS-proven
+//     unreachable;
+//   - differential: MESI and MESIC are trace-identical on every
+//     interleaving where no requester samples an asserted dirty line;
+//   - docs: the generated tables in docs/PROTOCOL.md match the code.
+//
+// Usage:
+//
+//	go run ./cmd/protocheck            # check everything, N up to 3
+//	go run ./cmd/protocheck -n 4      # explore 4 caches
+//	go run ./cmd/protocheck -write    # refresh docs/PROTOCOL.md
+//	go run ./cmd/protocheck -mutant restore-m-to-s   # must fail: demo
+//
+// Exit status is 0 when every check passes, 1 on any violation, 2 on
+// usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"cmpnurapid/internal/protocheck"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("protocheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		maxN   = fs.Int("n", 3, "largest cache count to explore (2..6)")
+		write  = fs.Bool("write", false, "rewrite the generated block in docs/PROTOCOL.md")
+		quiet  = fs.Bool("q", false, "suppress the summary; print violations only")
+		mutant = fs.String("mutant", "", "check a seeded-broken protocol instead (testing hook); see internal/protocheck/mutants.go")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *maxN < 2 || *maxN > 6 {
+		fmt.Fprintf(stderr, "protocheck: -n %d out of range [2, 6]\n", *maxN)
+		return 2
+	}
+
+	protocols := []*protocheck.Protocol{protocheck.MESI(), protocheck.MESIC()}
+	if *mutant != "" {
+		p, err := protocheck.Mutant(*mutant)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		protocols = []*protocheck.Protocol{p}
+	}
+
+	result := protocheck.CheckAll(*maxN, protocols...)
+
+	// The docs check only applies to the real protocols: mutants must
+	// not overwrite or be compared against the published tables.
+	if *mutant == "" {
+		if code := checkDocs(result, *write, stdout, stderr); code != 0 {
+			return code
+		}
+	}
+
+	if !*quiet {
+		fmt.Fprint(stdout, result.Summary())
+	}
+	for _, v := range result.Violations {
+		fmt.Fprintln(stdout, v)
+	}
+	if !result.Ok() {
+		return 1
+	}
+	return 0
+}
+
+// checkDocs verifies (or, with -write, refreshes) the generated block
+// in docs/PROTOCOL.md. A stale block is reported as a violation so it
+// fails the run the same way a protocol bug does.
+func checkDocs(result *protocheck.Result, write bool, stdout, stderr io.Writer) int {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "protocheck:", err)
+		return 2
+	}
+	docPath := filepath.Join(root, "docs", "PROTOCOL.md")
+	doc, err := os.ReadFile(docPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "protocheck:", err)
+		return 2
+	}
+	// The published block always comes from the canonical N=2..4
+	// sweep, independent of this run's -n.
+	block := protocheck.GenerateDoc(protocheck.DocExplorations())
+	if write {
+		updated, err := protocheck.SpliceDoc(doc, block)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if err := os.WriteFile(docPath, updated, 0o644); err != nil {
+			fmt.Fprintln(stderr, "protocheck:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", docPath)
+		return 0
+	}
+	if !protocheck.DocInSync(doc, block) {
+		result.Violations = append(result.Violations, protocheck.Violation{
+			Kind:    "doc",
+			Message: "docs/PROTOCOL.md generated block is stale; run `go run ./cmd/protocheck -write`",
+		})
+	}
+	return 0
+}
+
+// moduleRoot walks upward from the working directory to the nearest
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRunCleanRepo(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("run() = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"MESI", "MESIC", "violations: 0", "MESI ≡ MESIC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-q"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-q) = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	if stdout.String() != "" {
+		t.Errorf("-q still printed:\n%s", stdout.String())
+	}
+}
+
+// TestRunMutantFails is the CLI half of the seeded-mutant acceptance
+// criterion: restoring the deleted M→S arc must make protocheck exit
+// non-zero and say why.
+func TestRunMutantFails(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-mutant", "restore-m-to-s"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run(-mutant restore-m-to-s) = %d, want 1\nstdout:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "S coexists with C") {
+		t.Errorf("mutant run does not report the S/C safety violation:\n%s", stdout.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-n", "1"},
+		{"-n", "7"},
+		{"-mutant", "no-such-mutant"},
+		{"-bogus-flag"},
+	}
+	for _, args := range cases {
+		var stdout, stderr strings.Builder
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+		if stderr.String() == "" {
+			t.Errorf("run(%v) printed no error", args)
+		}
+	}
+}
+
+// TestWriteIsIdempotent runs -write against the checked-in doc and
+// asserts nothing changes: the committed tables are in sync.
+func TestWriteIsIdempotent(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	docPath := root + "/docs/PROTOCOL.md"
+	before := readFile(t, docPath)
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-write", "-q"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-write) = %d\nstderr:\n%s", code, stderr.String())
+	}
+	if after := readFile(t, docPath); after != before {
+		t.Error("docs/PROTOCOL.md changed under -write: the committed tables were stale")
+	}
+	if !strings.Contains(stdout.String(), "wrote ") {
+		t.Errorf("-write did not report the written path:\n%s", stdout.String())
+	}
+}

@@ -8,13 +8,19 @@
 //	floatcmp        no ==/!= on floats in result-reporting packages
 //	invariantcov    mutating cache methods have CheckInvariants-bracketed tests
 //	configvalidate  Config literals in cmd/ and examples/ are validated
+//	enumswitch      switches over internal int8 enums are exhaustive or panic
 //
 // Usage:
 //
 //	go run ./cmd/simlint ./...
-//	go run ./cmd/simlint -json ./...
+//	go run ./cmd/simlint -format json ./...
 //	go run ./cmd/simlint -disable floatcmp,invariantcov ./...
 //	go run ./cmd/simlint -list
+//
+// With -format json each diagnostic is one JSON object per line
+// (NDJSON) with keys file, line, col, pass, message — grep- and
+// jq-friendly for CI annotation. The default -format text prints
+// file:line:col: [pass] message.
 //
 // Package patterns are accepted for familiarity but the whole module
 // containing the working directory is always analyzed. Exit status is
@@ -26,6 +32,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,28 +40,43 @@ import (
 	"cmpnurapid/internal/simlint"
 )
 
+// jsonDiag is the NDJSON shape of one diagnostic.
 type jsonDiag struct {
 	File    string `json:"file"`
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
-	Rule    string `json:"rule"`
+	Pass    string `json:"pass"`
 	Message string `json:"message"`
 }
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		asJSON  = flag.Bool("json", false, "emit diagnostics as JSON")
-		disable = flag.String("disable", "", "comma-separated rule names to skip")
-		list    = flag.Bool("list", false, "list rules and exit")
+		format  = fs.String("format", "text", "diagnostic output format: text or json (NDJSON, one object per line)")
+		asJSON  = fs.Bool("json", false, "deprecated alias for -format json")
+		disable = fs.String("disable", "", "comma-separated rule names to skip")
+		list    = fs.Bool("list", false, "list rules and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *asJSON {
+		*format = "json"
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "simlint: unknown -format %q (want text or json)\n", *format)
+		return 2
+	}
 
 	analyzers := simlint.DefaultAnalyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	disabled := map[string]bool{}
@@ -72,46 +94,46 @@ func main() {
 		enabled = append(enabled, a)
 	}
 	for name := range disabled {
-		fmt.Fprintf(os.Stderr, "simlint: unknown rule %q in -disable\n", name)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "simlint: unknown rule %q in -disable\n", name)
+		return 2
 	}
 
 	root, err := moduleRoot()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "simlint:", err)
+		return 2
 	}
 	prog, err := simlint.Load(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "simlint:", err)
+		return 2
 	}
 	diags := prog.Run(enabled)
 
-	if *asJSON {
-		out := make([]jsonDiag, 0, len(diags))
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(stdout) // one compact object per line
 		for _, d := range diags {
-			out = append(out, jsonDiag{
+			err := enc.Encode(jsonDiag{
 				File: relToRoot(root, d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
-				Rule: d.Rule, Message: d.Message,
+				Pass: d.Rule, Message: d.Message,
 			})
+			if err != nil {
+				fmt.Fprintln(stderr, "simlint:", err)
+				return 2
+			}
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, "simlint:", err)
-			os.Exit(2)
-		}
-	} else {
+	default:
 		for _, d := range diags {
 			pos := d.Pos
 			pos.Filename = relToRoot(root, pos.Filename)
-			fmt.Printf("%s: [%s] %s\n", pos, d.Rule, d.Message)
+			fmt.Fprintf(stdout, "%s: [%s] %s\n", pos, d.Rule, d.Message)
 		}
 	}
 	if len(diags) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // moduleRoot walks upward from the working directory to the nearest

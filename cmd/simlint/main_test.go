@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdir switches the working directory for one test; simlint always
+// analyzes the module containing the working directory.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// dirtyModule writes a throwaway module with one panicmsg violation
+// (a panic in internal/ without the "pkg: " prefix) and returns its
+// root.
+func dirtyModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module fix.example/m\n\ngo 1.22\n",
+		"internal/widget/widget.go": `package widget
+
+func Check(ok bool) {
+	if !ok {
+		panic("broken")
+	}
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunCleanRepoBothFormats(t *testing.T) {
+	for _, args := range [][]string{nil, {"-format", "json"}} {
+		var stdout, stderr strings.Builder
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("run(%v) = %d, want 0\nstdout:\n%s\nstderr:\n%s", args, code, stdout.String(), stderr.String())
+		}
+		if stdout.String() != "" {
+			t.Errorf("run(%v) on a clean repo printed:\n%s", args, stdout.String())
+		}
+	}
+}
+
+func TestTextFormatOnDirtyModule(t *testing.T) {
+	chdir(t, dirtyModule(t))
+	var stdout, stderr strings.Builder
+	// invariantcov's coverage targets name this repo's packages, which
+	// the fixture module lacks; it is not under test here.
+	if code := run([]string{"-disable", "invariantcov"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run() = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[panicmsg]") || !strings.Contains(out, "internal/widget/widget.go:5:") {
+		t.Errorf("text diagnostic malformed:\n%s", out)
+	}
+}
+
+func TestJSONFormatOnDirtyModule(t *testing.T) {
+	chdir(t, dirtyModule(t))
+	// -json must behave as a deprecated alias for -format json.
+	for _, args := range [][]string{
+		{"-format", "json", "-disable", "invariantcov"},
+		{"-json", "-disable", "invariantcov"},
+	} {
+		var stdout, stderr strings.Builder
+		if code := run(args, &stdout, &stderr); code != 1 {
+			t.Fatalf("run(%v) = %d, want 1\nstderr:\n%s", args, code, stderr.String())
+		}
+		lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+		if len(lines) != 1 {
+			t.Fatalf("want one NDJSON line per diagnostic, got %d:\n%s", len(lines), stdout.String())
+		}
+		var d struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Pass    string `json:"pass"`
+			Message string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(lines[0]), &d); err != nil {
+			t.Fatalf("line is not valid JSON: %v\n%s", err, lines[0])
+		}
+		if d.File != "internal/widget/widget.go" || d.Line != 5 || d.Col == 0 || d.Pass != "panicmsg" || d.Message == "" {
+			t.Errorf("run(%v) diagnostic fields: %+v", args, d)
+		}
+	}
+}
+
+func TestListIncludesEnumSwitch(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d", code)
+	}
+	if !strings.Contains(stdout.String(), "enumswitch") {
+		t.Errorf("-list missing enumswitch:\n%s", stdout.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-format", "xml"},
+		{"-disable", "no-such-rule"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		var stdout, stderr strings.Builder
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+		if stderr.String() == "" {
+			t.Errorf("run(%v) printed no error", args)
+		}
+	}
+}

@@ -172,12 +172,22 @@ func MESIProc(s State, op ProcOp, sig Signals) (State, BusOp) {
 		return Modified, BusNone // silent upgrade
 	case Modified:
 		return Modified, BusNone
+	default:
+		panic("coherence: MESIProc on state " + s.String())
 	}
-	panic("coherence: MESIProc on state " + s.String())
 }
 
 // MESISnoop returns the next state and action when a cache holding
-// state s observes a bus transaction issued by another cache.
+// state s observes a bus transaction issued by another cache. It
+// panics on inputs the protocol cannot produce: BusNone and BusRepl
+// are never snooped (BusRepl is CMP-NuRAPID's tag-layer broadcast,
+// handled by the cache model, not the MESI machine), a BusUpg can only
+// be issued by an S holder which SWMR forbids from coexisting with E
+// or M, and C is not a MESI state. internal/protocheck's BFS over the
+// joint N-cache state space re-proves each unreachability claim on
+// every run (see docs/PROTOCOL.md), so reaching one of these defaults
+// means a cache model drove the state machine outside the protocol —
+// exactly the bug worth crashing on.
 func MESISnoop(s State, op BusOp) (State, SnoopAction) {
 	switch s {
 	case Invalid:
@@ -188,6 +198,8 @@ func MESISnoop(s State, op BusOp) (State, SnoopAction) {
 			return Shared, None
 		case BusRdX, BusUpg:
 			return Invalid, None
+		default: // BusNone, BusRepl: protocheck-proven unreachable
+			panic("coherence: MESISnoop(" + s.String() + ", " + op.String() + "): unreachable snoop input")
 		}
 	case Exclusive:
 		switch op {
@@ -195,6 +207,8 @@ func MESISnoop(s State, op BusOp) (State, SnoopAction) {
 			return Shared, FlushClean
 		case BusRdX:
 			return Invalid, FlushClean
+		default: // BusNone, BusUpg, BusRepl: protocheck-proven unreachable
+			panic("coherence: MESISnoop(" + s.String() + ", " + op.String() + "): unreachable snoop input")
 		}
 	case Modified:
 		switch op {
@@ -202,11 +216,12 @@ func MESISnoop(s State, op BusOp) (State, SnoopAction) {
 			return Shared, Flush // the MESI M→S arc MESIC deletes
 		case BusRdX:
 			return Invalid, Flush
+		default: // BusNone, BusUpg, BusRepl: protocheck-proven unreachable
+			panic("coherence: MESISnoop(" + s.String() + ", " + op.String() + "): unreachable snoop input")
 		}
 	default:
 		panic("coherence: MESISnoop on state " + s.String())
 	}
-	return s, None
 }
 
 // --- MESIC (Figure 4b) ---
@@ -240,8 +255,10 @@ func MESICProc(s State, op ProcOp, sig Signals) (State, BusOp) {
 			return Communication, BusNone
 		}
 		return Communication, BusUpg
-	default:
+	case Shared, Exclusive, Modified:
 		return MESIProc(s, op, sig)
+	default:
+		panic("coherence: MESICProc on state " + s.String())
 	}
 }
 
@@ -257,6 +274,12 @@ func MESICProc(s State, op ProcOp, sig Signals) (State, BusOp) {
 //     its tag copy but must not read a stale L1 copy (§3.2).
 //
 // There are no transitions out of C other than replacement (§3.2).
+//
+// Like MESISnoop, inputs the protocol cannot produce panic: BusNone
+// and BusRepl are never snooped, and M + BusUpg is unreachable because
+// a BusUpg is issued only by an S or C holder, neither of which can
+// coexist with M. internal/protocheck re-proves these claims by BFS on
+// every run (docs/PROTOCOL.md).
 func MESICSnoop(s State, op BusOp) (State, SnoopAction) {
 	switch s {
 	case Modified:
@@ -265,17 +288,21 @@ func MESICSnoop(s State, op BusOp) (State, SnoopAction) {
 			return Communication, Flush
 		case BusRdX:
 			return Communication, Flush
+		default: // BusNone, BusUpg, BusRepl: protocheck-proven unreachable
+			panic("coherence: MESICSnoop(" + s.String() + ", " + op.String() + "): unreachable snoop input")
 		}
-		return s, None
 	case Communication:
 		switch op {
 		case BusRd:
 			return Communication, Flush
 		case BusRdX, BusUpg:
 			return Communication, InvalidateL1
+		default: // BusNone, BusRepl: protocheck-proven unreachable
+			panic("coherence: MESICSnoop(" + s.String() + ", " + op.String() + "): unreachable snoop input")
 		}
-		return s, None
-	default:
+	case Invalid, Shared, Exclusive:
 		return MESISnoop(s, op)
+	default:
+		panic("coherence: MESICSnoop on state " + s.String())
 	}
 }

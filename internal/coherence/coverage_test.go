@@ -6,12 +6,47 @@ import "testing"
 // (state, op) pair must return a legal result, and the snoop side of
 // both protocols must never invent copies.
 
+// snoopOrPanic calls fn and reports whether it panicked instead of
+// returning a transition.
+func snoopOrPanic(fn func(State, BusOp) (State, SnoopAction), s State, op BusOp) (next State, act SnoopAction, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	next, act = fn(s, op)
+	return next, act, false
+}
+
+// mesiSnoopUnreachable are the (state, op) pairs protocheck's BFS
+// proves no MESI execution can produce; MESISnoop must panic on them
+// rather than silently return. I stays total (an invalid cache ignores
+// everything) — see the MESISnoop doc comment.
+func mesiSnoopUnreachable(s State, op BusOp) bool {
+	if s == Invalid {
+		return false
+	}
+	if op == BusNone || op == BusRepl {
+		return true // never snooped transactions
+	}
+	// BusUpg comes only from an S holder, which SWMR keeps away from
+	// E and M.
+	return op == BusUpg && (s == Exclusive || s == Modified)
+}
+
 func TestMESISnoopExhaustive(t *testing.T) {
 	states := []State{Invalid, Shared, Exclusive, Modified}
 	ops := []BusOp{BusNone, BusRd, BusRdX, BusUpg, BusRepl}
 	for _, s := range states {
 		for _, op := range ops {
-			next, act := MESISnoop(s, op)
+			next, act, panicked := snoopOrPanic(MESISnoop, s, op)
+			if want := mesiSnoopUnreachable(s, op); panicked != want {
+				t.Errorf("MESISnoop(%v, %v): panicked = %v, want %v", s, op, panicked, want)
+				continue
+			}
+			if panicked {
+				continue
+			}
 			// Snooping never upgrades a copy's rights.
 			if rank(next) > rank(s) {
 				t.Errorf("MESISnoop(%v, %v) upgraded to %v", s, op, next)
@@ -23,19 +58,38 @@ func TestMESISnoopExhaustive(t *testing.T) {
 	}
 }
 
+// mesicSnoopUnreachable is the MESIC analogue: M/C + BusUpg now comes
+// from C writers' write-throughs, so C + BusUpg is reachable while
+// M + BusUpg still is not (M coexists with neither S nor C).
+func mesicSnoopUnreachable(s State, op BusOp) bool {
+	if s == Invalid {
+		return false
+	}
+	if op == BusNone || op == BusRepl {
+		return true
+	}
+	return op == BusUpg && (s == Exclusive || s == Modified)
+}
+
 func TestMESICSnoopExhaustive(t *testing.T) {
 	states := []State{Invalid, Shared, Exclusive, Modified, Communication}
 	ops := []BusOp{BusNone, BusRd, BusRdX, BusUpg, BusRepl}
 	for _, s := range states {
 		for _, op := range ops {
-			next, act := MESICSnoop(s, op)
+			next, _, panicked := snoopOrPanic(MESICSnoop, s, op)
+			if want := mesicSnoopUnreachable(s, op); panicked != want {
+				t.Errorf("MESICSnoop(%v, %v): panicked = %v, want %v", s, op, panicked, want)
+				continue
+			}
+			if panicked {
+				continue
+			}
 			if s == Invalid && next != Invalid {
 				t.Errorf("MESICSnoop(I, %v) -> %v", op, next)
 			}
 			if s == Communication && next != Communication {
 				t.Errorf("MESICSnoop(C, %v) -> %v (no exits out of C)", op, next)
 			}
-			_ = act
 		}
 	}
 }
@@ -87,6 +141,32 @@ func TestSnoopActionStrings(t *testing.T) {
 	}
 	if BusNone.String() != "-" || BusRepl.String() != "BusRepl" || PrRd.String() != "PrRd" {
 		t.Error("enum strings broken")
+	}
+}
+
+// TestSnoopPanicsOnProvenUnreachablePairs is the regression test for
+// the silently-ignored pairs this PR converted to panics: before,
+// MESISnoop(E|M, BusUpg) returned (s, None) — a snoop that pretends an
+// impossible transaction is benign. protocheck's BFS proves a BusUpg
+// can never be observed by an E or M holder, so the only way to get
+// here is a cache-model bug, and the functions now crash loudly.
+func TestSnoopPanicsOnProvenUnreachablePairs(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(State, BusOp) (State, SnoopAction)
+		s    State
+		op   BusOp
+	}{
+		{"MESISnoop", MESISnoop, Exclusive, BusUpg},
+		{"MESISnoop", MESISnoop, Modified, BusUpg},
+		{"MESISnoop", MESISnoop, Shared, BusRepl},
+		{"MESICSnoop", MESICSnoop, Modified, BusUpg},
+		{"MESICSnoop", MESICSnoop, Communication, BusRepl},
+	}
+	for _, c := range cases {
+		if _, _, panicked := snoopOrPanic(c.fn, c.s, c.op); !panicked {
+			t.Errorf("%s(%v, %v) did not panic on a protocheck-proven-unreachable input", c.name, c.s, c.op)
+		}
 	}
 }
 

@@ -98,6 +98,9 @@ func (c *Cache) hit(t uint64, core int, addr memsys.Addr, line *tagLine, write b
 				}
 			}
 		}
+
+	default: // Invalid — Probe never returns invalid lines
+		panic("core: tag hit on line in state " + line.Data.state.String())
 	}
 
 	return memsys.Result{

@@ -65,6 +65,8 @@ func (c *Cache) CheckInvariants() {
 				bt.cState++
 			case coherence.Shared:
 				bt.s++
+			default: // Invalid — excluded by the st.Valid() check above
+				panic(fmt.Sprintf("core: core %d tag for %#x in unknown state %v", coreID, addr, st))
 			}
 		})
 	}

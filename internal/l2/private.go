@@ -147,10 +147,12 @@ func (p *Private) snoopOthers(core int, addr memsys.Addr, op coherence.BusOp) (s
 		case coherence.FlushClean:
 			supplier = o
 			p.stats.BusTransactions.Inc(memsys.LabelFlush)
-		default:
+		case coherence.None:
 			if supplier < 0 && l.Data.state == coherence.Shared && op != coherence.BusUpg {
 				supplier = o
 			}
+		default: // InvalidateL1 is MESIC-only; MESISnoop never returns it
+			panic("l2: MESI snoop returned action " + act.String())
 		}
 		if next == coherence.Invalid {
 			p.kill(o, l)

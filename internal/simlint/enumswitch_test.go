@@ -1,0 +1,244 @@
+package simlint
+
+import "testing"
+
+// enumDecl is a minimal int8-backed iota enum in an internal package,
+// mirroring coherence.State.
+const enumDecl = `package proto
+
+type St int8
+
+const (
+	A St = iota
+	B
+	C
+)
+
+func (s St) Known() bool { return s <= C }
+`
+
+func TestEnumSwitchFlagsMissingConstants(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/proto/proto.go": enumDecl,
+		"internal/proto/use.go": `package proto
+
+func Step(s St) int {
+	switch s {
+	case A:
+		return 1
+	case B:
+		return 2
+	}
+	return 0 // silent fallthrough for C
+}
+`,
+	}, NewEnumSwitch())
+	expectDiags(t, diags, "switch over proto.St misses C with no default")
+}
+
+func TestEnumSwitchFlagsNonPanickingDefault(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/proto/proto.go": enumDecl,
+		"internal/proto/use.go": `package proto
+
+func Step(s St) int {
+	switch s {
+	case A:
+		return 1
+	default:
+		return 0
+	}
+}
+`,
+	}, NewEnumSwitch())
+	expectDiags(t, diags, "misses B, C and its default does not panic")
+}
+
+func TestEnumSwitchFlagsConditionalPanicDefault(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/proto/proto.go": enumDecl,
+		"internal/proto/use.go": `package proto
+
+func Step(s St, strict bool) int {
+	switch s {
+	case A:
+		return 1
+	default:
+		if strict {
+			panic("proto: bad state")
+		}
+		return 0
+	}
+}
+`,
+	}, NewEnumSwitch())
+	expectDiags(t, diags, "default does not panic")
+}
+
+func TestEnumSwitchAcceptsExhaustiveAndPanickingForms(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/proto/proto.go": enumDecl,
+		"internal/proto/use.go": `package proto
+
+import "fmt"
+
+// All constants handled: no default needed, trailing code allowed
+// (the String() idiom).
+func Name(s St) string {
+	switch s {
+	case A:
+		return "a"
+	case B, C:
+		return "bc"
+	}
+	return fmt.Sprintf("St(%d)", int8(s))
+}
+
+// Panicking default closes the gap for unhandled constants.
+func Step(s St) int {
+	switch s {
+	case A:
+		return 1
+	default:
+		panic(fmt.Sprintf("proto: unhandled state %v", s))
+	}
+}
+
+// An empty case body still counts as explicit handling.
+func Count(s St) (n int) {
+	switch s {
+	case A, B:
+		n++
+	case C:
+	}
+	return n
+}
+`,
+		// Switches over internal enums are checked outside internal/ too.
+		"cmd/tool/main.go": `package main
+
+import "fix.example/m/internal/proto"
+
+func main() {
+	switch proto.A {
+	case proto.A, proto.B, proto.C:
+	}
+}
+`,
+	}, NewEnumSwitch())
+	expectDiags(t, diags)
+}
+
+func TestEnumSwitchChecksUsesOutsideDeclaringPackage(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/proto/proto.go": enumDecl,
+		"cmd/tool/main.go": `package main
+
+import "fix.example/m/internal/proto"
+
+func classify(s proto.St) int {
+	switch s {
+	case proto.A:
+		return 1
+	}
+	return 0
+}
+
+func main() { _ = classify(proto.B) }
+`,
+	}, NewEnumSwitch())
+	expectDiags(t, diags, "misses B, C")
+}
+
+func TestEnumSwitchIgnoresOutOfScopeTypes(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		// int-backed enums are not domain enums for this rule.
+		"internal/policy/policy.go": `package policy
+
+type Mode int
+
+const (
+	On Mode = iota
+	Off
+)
+
+func Flip(m Mode) Mode {
+	switch m {
+	case On:
+		return Off
+	}
+	return On
+}
+`,
+		// int8 enums declared outside internal/ are out of scope.
+		"toplevel.go": `package m
+
+type Kind int8
+
+const (
+	K0 Kind = iota
+	K1
+)
+
+func Pick(k Kind) int {
+	switch k {
+	case K0:
+		return 0
+	}
+	return 1
+}
+`,
+		// An int8 type with no constants is not an enum.
+		"internal/raw/raw.go": `package raw
+
+type Delta int8
+
+func Sign(d Delta) int {
+	switch d {
+	case 1:
+		return 1
+	}
+	return 0
+}
+`,
+		// Tagless switches are ordinary if-chains.
+		"internal/proto/proto.go": enumDecl,
+		"internal/proto/use.go": `package proto
+
+func Classify(s St) int {
+	switch {
+	case s == A:
+		return 1
+	}
+	return 0
+}
+`,
+	}, NewEnumSwitch())
+	expectDiags(t, diags)
+}
+
+func TestEnumSwitchAliasedConstantValues(t *testing.T) {
+	// Two names for the same value: covering either name covers the
+	// value, and a miss is reported once under one representative name.
+	diags := lintFixture(t, map[string]string{
+		"internal/proto/proto.go": `package proto
+
+type St int8
+
+const (
+	A St = iota
+	B
+	BAlias = B
+)
+
+func Step(s St) int {
+	switch s {
+	case A, BAlias:
+		return 1
+	}
+	return 0
+}
+`,
+	}, NewEnumSwitch())
+	expectDiags(t, diags)
+}

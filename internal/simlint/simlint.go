@@ -186,6 +186,7 @@ func DefaultAnalyzers() []*Analyzer {
 		NewFloatCompare(DefaultFloatComparePaths),
 		NewInvariantCoverage(DefaultCoverageTargets),
 		NewConfigValidate(),
+		NewEnumSwitch(),
 	}
 }
 

@@ -123,7 +123,7 @@ func TestRunSortsDiagnosticsByPosition(t *testing.T) {
 func TestDefaultAnalyzersComplete(t *testing.T) {
 	want := map[string]bool{
 		"determinism": true, "panicmsg": true, "floatcmp": true,
-		"invariantcov": true, "configvalidate": true,
+		"invariantcov": true, "configvalidate": true, "enumswitch": true,
 	}
 	for _, a := range DefaultAnalyzers() {
 		if !want[a.Name] {

@@ -27,6 +27,12 @@ go test -race -short ./...
 echo "== simlint =="
 go run ./cmd/simlint ./...
 
+echo "== simlint (json diagnostics) =="
+go run ./cmd/simlint -format json ./...
+
+echo "== protocheck (protocol model checker) =="
+go run ./cmd/protocheck
+
 echo "== experiments smoke (parallel scheduler, quick scale) =="
 go run ./cmd/experiments -exp table1,fig5 -parallel 4 -warmup 200000 -instr 200000 -quiet > /dev/null
 
