@@ -9,11 +9,13 @@
 //	invariantcov    mutating cache methods have CheckInvariants-bracketed tests
 //	configvalidate  Config literals in cmd/ and examples/ are validated
 //	enumswitch      switches over internal int8 enums are exhaustive or panic
+//	unitcheck       simulator quantities flow through dimensional unit types
 //
 // Usage:
 //
 //	go run ./cmd/simlint ./...
 //	go run ./cmd/simlint -format json ./...
+//	go run ./cmd/simlint -rules unitcheck,determinism ./...
 //	go run ./cmd/simlint -disable floatcmp,invariantcov ./...
 //	go run ./cmd/simlint -list
 //
@@ -57,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		format  = fs.String("format", "text", "diagnostic output format: text or json (NDJSON, one object per line)")
 		asJSON  = fs.Bool("json", false, "deprecated alias for -format json")
+		rules   = fs.String("rules", "", "comma-separated rule names to run exclusively (default: all)")
 		disable = fs.String("disable", "", "comma-separated rule names to skip")
 		list    = fs.Bool("list", false, "list rules and exit")
 	)
@@ -77,6 +80,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+
+	if *rules != "" {
+		byName := map[string]*simlint.Analyzer{}
+		var valid []string
+		for _, a := range analyzers {
+			byName[a.Name] = a
+			valid = append(valid, a.Name)
+		}
+		var selected []*simlint.Analyzer
+		for _, name := range strings.Split(*rules, ",") {
+			if name = strings.TrimSpace(name); name == "" {
+				continue
+			}
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "simlint: unknown rule %q in -rules (valid: %s)\n",
+					name, strings.Join(valid, ", "))
+				return 2
+			}
+			selected = append(selected, a)
+		}
+		analyzers = selected
 	}
 
 	disabled := map[string]bool{}

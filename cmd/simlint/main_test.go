@@ -112,6 +112,39 @@ func TestJSONFormatOnDirtyModule(t *testing.T) {
 	}
 }
 
+func TestRulesSelection(t *testing.T) {
+	chdir(t, dirtyModule(t))
+	// Selecting only the violated rule reports it; selecting only a
+	// rule the module satisfies comes back clean.
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-rules", "panicmsg"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run(-rules panicmsg) = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[panicmsg]") {
+		t.Errorf("selected rule did not report:\n%s", stdout.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-rules", "floatcmp,unitcheck"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-rules floatcmp,unitcheck) = %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+func TestRulesUnknownNameListsValid(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-rules", "unitchekc"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-rules unitchekc) = %d, want 2", code)
+	}
+	msg := stderr.String()
+	for _, name := range []string{"unitchekc", "determinism", "panicmsg", "floatcmp",
+		"invariantcov", "configvalidate", "enumswitch", "unitcheck"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error message missing %q:\n%s", name, msg)
+		}
+	}
+}
+
 func TestListIncludesEnumSwitch(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
@@ -126,6 +159,7 @@ func TestUsageErrors(t *testing.T) {
 	cases := [][]string{
 		{"-format", "xml"},
 		{"-disable", "no-such-rule"},
+		{"-rules", "no-such-rule"},
 		{"-bogus"},
 	}
 	for _, args := range cases {

@@ -61,6 +61,15 @@ type L2 = memsys.L2
 // Addr is a physical byte address.
 type Addr = memsys.Addr
 
+// Cycle is an absolute simulated timestamp; Cycles is a duration in
+// clock cycles; Bytes is a storage capacity. All simulator timing and
+// geometry flows through these dimensional types (see DESIGN.md).
+type (
+	Cycle  = memsys.Cycle
+	Cycles = memsys.Cycles
+	Bytes  = memsys.Bytes
+)
+
 // Result describes one L2 access outcome (latency, the paper's miss
 // taxonomy, and which d-group served a hit).
 type Result = memsys.Result

@@ -103,7 +103,7 @@ func BenchmarkL2Access(b *testing.B) {
 	} {
 		b.Run(string(d), func(b *testing.B) {
 			l2 := cmpnurapid.NewL2(d)
-			now := uint64(0)
+			now := cmpnurapid.Cycle(0)
 			for i := 0; i < b.N; i++ {
 				addr := cmpnurapid.Addr((i % 4096) * 128)
 				l2.Access(now, i%4, addr, i%7 == 0)

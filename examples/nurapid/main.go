@@ -23,10 +23,10 @@ func main() {
 	r := rng.New(7)
 	z := rng.NewZipf(r, 48_000, 0.9)
 	const accesses = 2_000_000
-	var totalLat uint64
+	var totalLat cmpnurapid.Cycles
 	for i := 0; i < accesses; i++ {
 		lat, _ := c.Access(cmpnurapid.Addr(z.Next() * 128))
-		totalLat += uint64(lat)
+		totalLat += lat
 	}
 	c.CheckInvariants()
 

@@ -37,7 +37,7 @@ func show(c *cmpnurapid.NuRAPIDCache, addr cmpnurapid.Addr) {
 
 func main() {
 	cache := cmpnurapid.NewCMPNuRAPID(cmpnurapid.DefaultNuRAPIDConfig())
-	now := uint64(0)
+	now := cmpnurapid.Cycle(0)
 	step := func(core int, addr cmpnurapid.Addr, write bool, what string) {
 		res := cache.Access(now, core, addr, write)
 		now += 100

@@ -9,6 +9,8 @@
 // transactions are still in flight.
 package bus
 
+import "cmpnurapid/internal/memsys"
+
 // Kind enumerates snoopy bus transactions. BusRepl is CMP-NuRAPID's
 // addition: a broadcast sent before replacing a shared data block so
 // sharers whose tags point at the dying frame can invalidate them
@@ -47,10 +49,10 @@ func (k Kind) String() string {
 type Config struct {
 	// Latency is the end-to-end cycles for a transaction to be seen by
 	// all snoopers (Table 1: 32).
-	Latency int
+	Latency memsys.Cycles
 	// SlotCycles is the issue interval of the pipelined bus: a new
 	// transaction can start every SlotCycles.
-	SlotCycles int
+	SlotCycles memsys.Cycles
 }
 
 // DefaultConfig matches the paper's Table 1 bus.
@@ -61,10 +63,10 @@ func DefaultConfig() Config { return Config{Latency: 32, SlotCycles: 4} }
 // simulated cores interleave deterministically).
 type Bus struct {
 	cfg      Config
-	nextFree uint64
+	nextFree memsys.Cycle
 	counts   [numKinds]uint64
 	// waitCycles accumulates arbitration stalls for bandwidth analysis.
-	waitCycles uint64
+	waitCycles memsys.Cycles
 }
 
 // New creates a bus with the given configuration.
@@ -79,19 +81,19 @@ func New(cfg Config) *Bus {
 // returns the cycle at which the transaction is visible to all snoopers
 // (grant + latency). Arbitration delay due to earlier transactions is
 // included.
-func (b *Bus) Transact(now uint64, kind Kind) (visibleAt uint64) {
+func (b *Bus) Transact(now memsys.Cycle, kind Kind) (visibleAt memsys.Cycle) {
 	grant := now
 	if b.nextFree > grant {
-		b.waitCycles += b.nextFree - grant
+		b.waitCycles += b.nextFree.Sub(grant)
 		grant = b.nextFree
 	}
-	b.nextFree = grant + uint64(b.cfg.SlotCycles)
+	b.nextFree = grant.Add(b.cfg.SlotCycles)
 	b.counts[kind]++
-	return grant + uint64(b.cfg.Latency)
+	return grant.Add(b.cfg.Latency)
 }
 
 // Latency returns the configured end-to-end latency.
-func (b *Bus) Latency() int { return b.cfg.Latency }
+func (b *Bus) Latency() memsys.Cycles { return b.cfg.Latency }
 
 // Count returns how many transactions of the given kind were issued.
 func (b *Bus) Count(kind Kind) uint64 { return b.counts[kind] }
@@ -106,28 +108,28 @@ func (b *Bus) TotalTransactions() uint64 {
 }
 
 // WaitCycles returns the cumulative arbitration stall cycles.
-func (b *Bus) WaitCycles() uint64 { return b.waitCycles }
+func (b *Bus) WaitCycles() memsys.Cycles { return b.waitCycles }
 
 // Port models a single-ported, unpipelined structure (a private tag
 // array or a data d-group; §3.3.2: "each private tag array and data
 // d-group is single-ported and not pipelined"). An access occupies the
 // port for its full duration.
 type Port struct {
-	nextFree   uint64
-	busyCycles uint64
+	nextFree   memsys.Cycle
+	busyCycles memsys.Cycles
 }
 
 // Acquire reserves the port at cycle now for dur cycles and returns the
 // cycle at which the access starts (>= now if the port was busy).
-func (p *Port) Acquire(now uint64, dur int) (start uint64) {
+func (p *Port) Acquire(now memsys.Cycle, dur memsys.Cycles) (start memsys.Cycle) {
 	start = now
 	if p.nextFree > start {
 		start = p.nextFree
 	}
-	p.nextFree = start + uint64(dur)
-	p.busyCycles += uint64(dur)
+	p.nextFree = start.Add(dur)
+	p.busyCycles += dur
 	return start
 }
 
 // BusyCycles returns the total cycles the port has been occupied.
-func (p *Port) BusyCycles() uint64 { return p.busyCycles }
+func (p *Port) BusyCycles() memsys.Cycles { return p.busyCycles }

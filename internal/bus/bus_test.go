@@ -3,6 +3,8 @@ package bus
 import (
 	"testing"
 	"testing/quick"
+
+	"cmpnurapid/internal/memsys"
 )
 
 func TestTransactLatency(t *testing.T) {
@@ -81,10 +83,10 @@ func TestTransactMonotone(t *testing.T) {
 	// and a transaction is always visible at least Latency after issue.
 	b := New(Config{Latency: 32, SlotCycles: 4})
 	f := func(deltas []uint8) bool {
-		now := uint64(0)
-		lastVis := uint64(0)
+		now := memsys.Cycle(0)
+		lastVis := memsys.Cycle(0)
 		for _, d := range deltas {
-			now += uint64(d)
+			now += memsys.Cycle(d)
 			vis := b.Transact(now, BusRd)
 			if vis < now+32 || vis < lastVis {
 				return false

@@ -24,14 +24,14 @@ type Line[T any] struct {
 type Geometry struct {
 	Sets       int
 	Ways       int
-	BlockBytes int
+	BlockBytes memsys.Bytes
 }
 
 // Validate panics unless all fields are positive powers of two (sets
 // and blocks must be for indexing; ways only needs positivity but
 // real designs use powers of two and requiring it catches typos).
 func (g Geometry) Validate() {
-	if !pow2(g.Sets) || !pow2(g.BlockBytes) {
+	if !pow2(g.Sets) || !pow2(int(g.BlockBytes)) {
 		panic(fmt.Sprintf("cache: sets (%d) and block size (%d) must be powers of two",
 			g.Sets, g.BlockBytes))
 	}
@@ -42,8 +42,8 @@ func (g Geometry) Validate() {
 
 // GeometryFor computes sets from capacity, associativity and block
 // size.
-func GeometryFor(capacityBytes, ways, blockBytes int) Geometry {
-	sets := capacityBytes / (ways * blockBytes)
+func GeometryFor(capacityBytes memsys.Bytes, ways int, blockBytes memsys.Bytes) Geometry {
+	sets := capacityBytes.Per(blockBytes.Times(ways))
 	if sets == 0 {
 		sets = 1
 	}
@@ -51,7 +51,7 @@ func GeometryFor(capacityBytes, ways, blockBytes int) Geometry {
 }
 
 // CapacityBytes returns the data capacity the geometry covers.
-func (g Geometry) CapacityBytes() int { return g.Sets * g.Ways * g.BlockBytes }
+func (g Geometry) CapacityBytes() memsys.Bytes { return g.BlockBytes.Times(g.Sets * g.Ways) }
 
 // Array is a set-associative array of lines with per-set true LRU.
 type Array[T any] struct {
@@ -67,7 +67,7 @@ func NewArray[T any](geo Geometry) *Array[T] {
 	geo.Validate()
 	return &Array[T]{
 		geo:       geo,
-		blockBits: uint(log2(geo.BlockBytes)),
+		blockBits: uint(log2(int(geo.BlockBytes))),
 		setMask:   uint64(geo.Sets - 1),
 		lines:     make([]Line[T], geo.Sets*geo.Ways),
 	}

@@ -13,14 +13,33 @@
 // real Cacti is unavailable; see DESIGN.md substitution record) while
 // still *scaling* with geometry, so ablations over different sizes and
 // associativities remain meaningful.
+//
+// The model's physical quantities are carried by the dimensional types
+// Picoseconds and Millimeters; ToCycles is the single place physical
+// time becomes clock cycles, and it always rounds up.
 package cacti
 
-import "math"
+import (
+	"math"
+
+	"cmpnurapid/internal/memsys"
+)
+
+// Picoseconds is a physical delay in the timing model, before
+// quantization to clock cycles.
+//
+// unitcheck:unit duration
+type Picoseconds float64
+
+// Millimeters is an on-chip routing distance.
+//
+// unitcheck:unit length
+type Millimeters float64
 
 // Technology constants at 70 nm, 5 GHz.
 const (
 	// CyclePS is the clock period in picoseconds (5 GHz).
-	CyclePS = 200.0
+	CyclePS Picoseconds = 200.0
 
 	// WirePSPerMM is the delay of a repeated global RC wire. Calibrated
 	// against the paper's 32-cycle bus (a 16 mm cross-chip route) and
@@ -59,28 +78,39 @@ const (
 // parallel tag+data access (used for L1-style caches).
 const outputDriverPS = 150.0
 
+// Scale returns the distance scaled by the dimensionless factor f
+// (floorplan distances shrink with the square root of bank area in the
+// capacity-sensitivity sweeps).
+func (m Millimeters) Scale(f float64) Millimeters {
+	return Millimeters(float64(m) * f)
+}
+
 // TagArrayPS returns the access time of a tag array of the given size
 // in KB probed with the given associativity (comparators and way
 // muxing grow with log2 of associativity).
-func TagArrayPS(sizeKB float64, assoc int) float64 {
-	return tagBasePS + tagPerSqrtKBPS*math.Sqrt(sizeKB) + tagPerWayLogPS*log2(assoc)
+func TagArrayPS(sizeKB float64, assoc int) Picoseconds {
+	return Picoseconds(tagBasePS + tagPerSqrtKBPS*math.Sqrt(sizeKB) + tagPerWayLogPS*log2(assoc))
 }
 
 // DataBankPS returns the access time of a data bank (or d-group) of the
 // given size in KB. For sequential tag-data access the bank is accessed
 // as a direct frame lookup, but sense/mux circuitry still scales with
 // the set associativity the bank was laid out for.
-func DataBankPS(sizeKB float64, assoc int) float64 {
-	return dataBasePS + dataPerSqrtKBPS*math.Sqrt(sizeKB) + dataPerWayLogPS*log2(assoc)
+func DataBankPS(sizeKB float64, assoc int) Picoseconds {
+	return Picoseconds(dataBasePS + dataPerSqrtKBPS*math.Sqrt(sizeKB) + dataPerWayLogPS*log2(assoc))
 }
 
 // WirePS returns the routing delay over distance mm of repeated wire.
-func WirePS(mm float64) float64 { return mm * WirePSPerMM }
+func WirePS(mm Millimeters) Picoseconds {
+	return Picoseconds(float64(mm) * WirePSPerMM)
+}
 
-// Cycles converts picoseconds to whole clock cycles, rounding up; every
-// access takes at least one cycle.
-func Cycles(ps float64) int {
-	c := int(math.Ceil(ps / CyclePS))
+// ToCycles converts physical time to whole clock cycles. It is the
+// single ps→cycle conversion in the codebase and always rounds the
+// same direction: up (ceiling), with a floor of one cycle — an access
+// can never complete in less than a cycle.
+func ToCycles(ps Picoseconds) memsys.Cycles {
+	c := memsys.Cycles(math.Ceil(float64(ps / CyclePS)))
 	if c < 1 {
 		c = 1
 	}
@@ -89,8 +119,8 @@ func Cycles(ps float64) int {
 
 // TagGeometry describes a tag array's logical contents.
 type TagGeometry struct {
-	CacheBytes int // capacity of the data the tags cover
-	BlockBytes int
+	CacheBytes memsys.Bytes // capacity of the data the tags cover
+	BlockBytes memsys.Bytes
 	Assoc      int
 	// SetFactor multiplies the number of sets; CMP-NuRAPID doubles each
 	// core's tag capacity ("we double the number of sets while
@@ -103,7 +133,7 @@ type TagGeometry struct {
 
 // Sets returns the number of tag sets.
 func (g TagGeometry) Sets() int {
-	sets := g.CacheBytes / (g.BlockBytes * g.Assoc)
+	sets := g.CacheBytes.Per(g.BlockBytes.Times(g.Assoc))
 	f := g.SetFactor
 	if f < 1 {
 		f = 1
@@ -117,7 +147,7 @@ func (g TagGeometry) Entries() int { return g.Sets() * g.Assoc }
 // EntryBits returns the width of one tag entry.
 func (g TagGeometry) EntryBits() int {
 	setBits := log2i(g.Sets())
-	offsetBits := log2i(g.BlockBytes)
+	offsetBits := log2i(int(g.BlockBytes))
 	tagBits := AddressBits - setBits - offsetBits
 	bits := tagBits + StateBits
 	if g.Pointers {
@@ -132,38 +162,39 @@ func (g TagGeometry) SizeKB() float64 {
 }
 
 // AccessPS returns the tag array access time in picoseconds.
-func (g TagGeometry) AccessPS() float64 { return TagArrayPS(g.SizeKB(), g.Assoc) }
+func (g TagGeometry) AccessPS() Picoseconds { return TagArrayPS(g.SizeKB(), g.Assoc) }
 
 // AccessCycles returns the tag array access time in cycles.
-func (g TagGeometry) AccessCycles() int { return Cycles(g.AccessPS()) }
+func (g TagGeometry) AccessCycles() memsys.Cycles { return ToCycles(g.AccessPS()) }
 
 // DataBankCycles returns the access latency in cycles of a data bank of
 // bankBytes capacity laid out for the given associativity, plus the
 // wire delay to reach it over wireMM of routing.
-func DataBankCycles(bankBytes, assoc int, wireMM float64) int {
-	ps := DataBankPS(float64(bankBytes)/1024, assoc) + WirePS(wireMM)
-	return Cycles(ps)
+func DataBankCycles(bankBytes memsys.Bytes, assoc int, wireMM Millimeters) memsys.Cycles {
+	ps := DataBankPS(bankBytes.KB(), assoc) + WirePS(wireMM)
+	return ToCycles(ps)
 }
 
 // TagCycles returns the access latency in cycles of a tag array with
 // geometry g reached over wireMM of routing (0 for a core-adjacent
 // private tag; the chip-central shared tag pays a long route).
-func TagCycles(g TagGeometry, wireMM float64) int {
-	return Cycles(g.AccessPS() + WirePS(wireMM))
+func TagCycles(g TagGeometry, wireMM Millimeters) memsys.Cycles {
+	return ToCycles(g.AccessPS() + WirePS(wireMM))
 }
 
 // ParallelCacheCycles models a small cache (e.g. an L1) that probes tag
 // and data in parallel: max of the two paths plus the output driver.
-func ParallelCacheCycles(cacheBytes, blockBytes, assoc int) int {
+func ParallelCacheCycles(cacheBytes, blockBytes memsys.Bytes, assoc int) memsys.Cycles {
 	g := TagGeometry{CacheBytes: cacheBytes, BlockBytes: blockBytes, Assoc: assoc}
-	data := DataBankPS(float64(cacheBytes)/1024, assoc)
-	return Cycles(math.Max(g.AccessPS(), data) + outputDriverPS)
+	data := DataBankPS(cacheBytes.KB(), assoc)
+	ps := Picoseconds(math.Max(float64(g.AccessPS()), float64(data))) + outputDriverPS
+	return ToCycles(ps)
 }
 
 // BusCycles returns the latency of the pipelined split-transaction bus:
 // the paper assumes it equals the wire delay for a core to reach the
 // farthest tag array (§4.2).
-func BusCycles(routeMM float64) int { return Cycles(WirePS(routeMM)) }
+func BusCycles(routeMM Millimeters) memsys.Cycles { return ToCycles(WirePS(routeMM)) }
 
 func log2(n int) float64 {
 	if n <= 1 {

@@ -13,14 +13,14 @@ func TestCyclesRoundsUp(t *testing.T) {
 		{0, 1}, {1, 1}, {200, 1}, {200.1, 2}, {400, 2}, {6400, 32},
 	}
 	for _, c := range cases {
-		if got := Cycles(c.ps); got != c.want {
-			t.Errorf("Cycles(%v) = %d, want %d", c.ps, got, c.want)
+		if got := ToCycles(Picoseconds(c.ps)); int64(got) != int64(c.want) {
+			t.Errorf("ToCycles(%v) = %d, want %d", c.ps, got, c.want)
 		}
 	}
 }
 
 func TestTagArrayMonotonicInSize(t *testing.T) {
-	prev := 0.0
+	prev := Picoseconds(0)
 	for kb := 1.0; kb <= 1024; kb *= 2 {
 		ps := TagArrayPS(kb, 8)
 		if ps <= prev {
@@ -31,7 +31,7 @@ func TestTagArrayMonotonicInSize(t *testing.T) {
 }
 
 func TestTagArrayMonotonicInAssoc(t *testing.T) {
-	prev := 0.0
+	prev := Picoseconds(0)
 	for a := 1; a <= 64; a *= 2 {
 		ps := TagArrayPS(128, a)
 		if ps <= prev && a > 1 {
@@ -100,13 +100,13 @@ func TestTagGeometrySharedCentral(t *testing.T) {
 func TestDataBankTable1(t *testing.T) {
 	// Paper Table 1 d-group data latencies from P0: 6, 20, 20, 33.
 	cases := []struct {
-		mm   float64
+		mm   Millimeters
 		want int
 	}{
 		{0, 6}, {7, 20}, {13.5, 33},
 	}
 	for _, c := range cases {
-		if got := DataBankCycles(2<<20, 8, c.mm); got != c.want {
+		if got := DataBankCycles(2<<20, 8, c.mm); int64(got) != int64(c.want) {
 			t.Errorf("DataBankCycles(2MB, 8, %vmm) = %d, want %d", c.mm, got, c.want)
 		}
 	}
@@ -154,14 +154,53 @@ func TestLog2i(t *testing.T) {
 	}
 }
 
+func TestToCyclesCeilingProperty(t *testing.T) {
+	// Property: ToCycles is the ceiling of ps/CyclePS with a one-cycle
+	// floor — never truncation. Every conversion site in the simulator
+	// must round the same direction, so the direction is pinned here.
+	f := func(raw uint32) bool {
+		ps := Picoseconds(float64(raw) / 16) // cover fractional cycles
+		c := ToCycles(ps)
+		exact := float64(ps / CyclePS)
+		if c < 1 {
+			return false
+		}
+		if float64(c) < exact {
+			return false // rounded down: not a ceiling
+		}
+		return c == 1 || float64(c-1) < exact // tight: not over-rounded
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessCyclesMonotonicInGeometry(t *testing.T) {
+	// Growing a tag array (capacity or associativity) must never make
+	// it faster.
+	base := TagGeometry{CacheBytes: 1 << 20, BlockBytes: 128, Assoc: 8}
+	bigger := base
+	bigger.CacheBytes = 4 << 20
+	wider := base
+	wider.Assoc = 32
+	if base.AccessCycles() > bigger.AccessCycles() {
+		t.Errorf("4 MB tag (%d cycles) faster than 1 MB (%d cycles)",
+			bigger.AccessCycles(), base.AccessCycles())
+	}
+	if base.AccessCycles() > wider.AccessCycles() {
+		t.Errorf("32-way tag (%d cycles) faster than 8-way (%d cycles)",
+			wider.AccessCycles(), base.AccessCycles())
+	}
+}
+
 func TestCyclesProperty(t *testing.T) {
-	// Property: Cycles is monotone and always >= 1.
+	// Property: ToCycles is monotone and always >= 1.
 	f := func(a, b uint16) bool {
-		x, y := float64(a), float64(b)
+		x, y := Picoseconds(a), Picoseconds(b)
 		if x > y {
 			x, y = y, x
 		}
-		return Cycles(x) >= 1 && Cycles(x) <= Cycles(y)
+		return ToCycles(x) >= 1 && ToCycles(x) <= ToCycles(y)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -51,10 +51,10 @@ type CommunicationProber interface {
 // Config sets the per-core L1 parameters (paper §4.1 defaults).
 type Config struct {
 	Cores     int
-	L1Bytes   int
+	L1Bytes   memsys.Bytes
 	L1Ways    int
-	L1Block   int
-	L1Latency int
+	L1Block   memsys.Bytes
+	L1Latency memsys.Cycles
 }
 
 // DefaultConfig matches the paper: 64 KB 2-way split I/D, 64 B blocks,
@@ -79,16 +79,16 @@ type l1Line struct {
 // only; clocks are never rewound (resource reservations hold absolute
 // cycle numbers).
 type coreState struct {
-	cycles       uint64
+	cycles       memsys.Cycle
 	instructions uint64
 	l1d, l1i     *cache.Array[l1Line]
 
-	baseCycles       uint64
+	baseCycles       memsys.Cycle
 	baseInstructions uint64
 	// end* snapshot the core's state when it completes its fixed work
 	// quantum (endValid set); later instructions keep the system's
 	// contention realistic but do not count toward results.
-	endCycles       uint64
+	endCycles       memsys.Cycle
 	endInstructions uint64
 	endValid        bool
 
@@ -134,7 +134,7 @@ func New(cfg Config, l2 memsys.L2, w Workload) *System {
 		s.directory = true
 	}
 	geo := cache.Geometry{
-		Sets:       cfg.L1Bytes / (cfg.L1Ways * cfg.L1Block),
+		Sets:       cfg.L1Bytes.Per(cfg.L1Block.Times(cfg.L1Ways)),
 		Ways:       cfg.L1Ways,
 		BlockBytes: cfg.L1Block,
 	}
@@ -158,12 +158,12 @@ func (s *System) L2() memsys.L2 { return s.l2 }
 func (s *System) invalidateL1(core int, addr memsys.Addr) {
 	cs := s.cores[core]
 	// An L2 block may span several L1 blocks (128 B vs 64 B).
-	l2Block := 128
+	l2Block := memsys.Bytes(128)
 	if s.cfg.L1Block > l2Block {
 		l2Block = s.cfg.L1Block
 	}
 	base := addr.BlockAddr(l2Block)
-	for off := 0; off < l2Block; off += s.cfg.L1Block {
+	for off := memsys.Bytes(0); off < l2Block; off += s.cfg.L1Block {
 		for _, arr := range []*cache.Array[l1Line]{cs.l1d, cs.l1i} {
 			if l := arr.Probe(base + memsys.Addr(off)); l != nil {
 				arr.Invalidate(l)
@@ -178,7 +178,7 @@ func (s *System) invalidateL1(core int, addr memsys.Addr) {
 // read drops other cores' *dirty* L1 copies (write-back: the owner's
 // next store must re-request through the L2, where the new reader's
 // copy will then be dropped).
-func (s *System) l2Access(now uint64, core int, addr memsys.Addr, write bool) memsys.Result {
+func (s *System) l2Access(now memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Result {
 	res := s.l2.Access(now, core, addr, write)
 	if s.directory {
 		for o := 0; o < s.cfg.Cores; o++ {
@@ -196,13 +196,13 @@ func (s *System) l2Access(now uint64, core int, addr memsys.Addr, write bool) me
 // dirtyL1Copy reports whether core's L1 D-cache holds a dirty line of
 // the L2 block containing addr.
 func (s *System) dirtyL1Copy(core int, addr memsys.Addr) bool {
-	l2Block := 128
+	l2Block := memsys.Bytes(128)
 	if s.cfg.L1Block > l2Block {
 		l2Block = s.cfg.L1Block
 	}
 	base := addr.BlockAddr(l2Block)
 	cs := s.cores[core]
-	for off := 0; off < l2Block; off += s.cfg.L1Block {
+	for off := memsys.Bytes(0); off < l2Block; off += s.cfg.L1Block {
 		if l := cs.l1d.Probe(base + memsys.Addr(off)); l != nil && l.Data.dirty {
 			return true
 		}
@@ -211,14 +211,14 @@ func (s *System) dirtyL1Copy(core int, addr memsys.Addr) bool {
 }
 
 // access runs one memory reference for core and returns its latency.
-func (s *System) access(core int, addr memsys.Addr, write, instr bool) int {
+func (s *System) access(core int, addr memsys.Addr, write, instr bool) memsys.Cycles {
 	cs := s.cores[core]
 	arr := cs.l1d
 	if instr {
 		arr = cs.l1i
 	}
 	lat := s.cfg.L1Latency
-	now := cs.cycles + uint64(lat)
+	now := cs.cycles.Add(lat)
 
 	if l := arr.Probe(addr); l != nil {
 		arr.Touch(l)
@@ -277,14 +277,14 @@ func (s *System) step(core int) {
 	op := s.stream.Next(core)
 	cs := s.cores[core]
 	if op.Compute > 0 {
-		cs.cycles += uint64(op.Compute) // CPI 1 for non-memory work
+		cs.cycles = cs.cycles.Add(memsys.CyclesOf(op.Compute)) // CPI 1 for non-memory work
 		cs.instructions += uint64(op.Compute)
 	}
 	if op.NoMem {
 		return
 	}
 	lat := s.access(core, op.Addr, op.Write, op.Instr)
-	cs.cycles += uint64(lat)
+	cs.cycles = cs.cycles.Add(lat)
 	cs.instructions++
 }
 
@@ -363,7 +363,7 @@ func (s *System) runUntil(done func() bool) {
 
 // CoreResult is one core's outcome.
 type CoreResult struct {
-	Cycles        uint64
+	Cycles        memsys.Cycles
 	Instructions  uint64
 	IPC           float64
 	L1DHits       uint64
@@ -378,7 +378,7 @@ type Results struct {
 	Design string
 	Cores  []CoreResult
 	// Cycles is the makespan: the slowest core's clock.
-	Cycles       uint64
+	Cycles       memsys.Cycles
 	Instructions uint64
 	// IPC is the aggregate instructions per cycle — the paper's
 	// multiprogrammed metric; for multithreaded workloads the paper's
@@ -395,7 +395,7 @@ func (s *System) results() Results {
 			endC, endI = cs.endCycles, cs.endInstructions
 		}
 		cr := CoreResult{
-			Cycles:       endC - cs.baseCycles,
+			Cycles:       endC.Sub(cs.baseCycles),
 			Instructions: endI - cs.baseInstructions,
 			L1DHits:      cs.L1DHits, L1DMisses: cs.L1DMisses,
 			L1IHits: cs.L1IHits, L1IMisses: cs.L1IMisses,

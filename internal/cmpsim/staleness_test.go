@@ -46,10 +46,10 @@ func (w *randomWorkload) Next(coreID int) Op {
 
 // l1Holds reports whether core's L1 D- or I-cache holds any line of
 // the L2 block containing addr.
-func l1Holds(s *System, coreID int, addr memsys.Addr, l2Block int) bool {
+func l1Holds(s *System, coreID int, addr memsys.Addr, l2Block memsys.Bytes) bool {
 	base := addr.BlockAddr(l2Block)
 	cs := s.cores[coreID]
-	for off := 0; off < l2Block; off += s.cfg.L1Block {
+	for off := memsys.Bytes(0); off < l2Block; off += s.cfg.L1Block {
 		if cs.l1d.Probe(base+memsys.Addr(off)) != nil || cs.l1i.Probe(base+memsys.Addr(off)) != nil {
 			return true
 		}
@@ -68,18 +68,18 @@ func stepOnce(s *System) (coreID int, op Op) {
 	op = s.stream.Next(pick)
 	cs := s.cores[pick]
 	if op.Compute > 0 {
-		cs.cycles += uint64(op.Compute)
+		cs.cycles = cs.cycles.Add(memsys.CyclesOf(op.Compute))
 		cs.instructions += uint64(op.Compute)
 	}
 	if !op.NoMem {
 		lat := s.access(pick, op.Addr, op.Write, op.Instr)
-		cs.cycles += uint64(lat)
+		cs.cycles = cs.cycles.Add(lat)
 		cs.instructions++
 	}
 	return pick, op
 }
 
-func runStaleDetector(t *testing.T, mk func() memsys.L2, steps, l2Block int) {
+func runStaleDetector(t *testing.T, mk func() memsys.L2, steps int, l2Block memsys.Bytes) {
 	t.Helper()
 	cfg := Config{Cores: 4, L1Bytes: 1 << 10, L1Ways: 2, L1Block: 64, L1Latency: 3}
 	sys := New(cfg, mk(), &randomWorkload{r: rng.New(99)})

@@ -10,11 +10,11 @@ import (
 // Sequential tag-data access: the private tag array is probed first
 // (5 cycles, Table 1); the forward pointer then directs the data
 // access to a d-group through the crossbar.
-func (c *Cache) Access(now uint64, core int, addr memsys.Addr, write bool) memsys.Result {
+func (c *Cache) Access(now memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Result {
 	addr = addr.BlockAddr(c.cfg.BlockBytes)
 	start := c.tagPort[core].Acquire(now, c.cfg.TagLatency)
-	lat := int(start-now) + c.cfg.TagLatency
-	t := now + uint64(lat)
+	lat := start.Sub(now) + c.cfg.TagLatency
+	t := now.Add(lat)
 
 	var res memsys.Result
 	if line := c.tags[core].Probe(addr); line != nil {
@@ -28,10 +28,10 @@ func (c *Cache) Access(now uint64, core int, addr memsys.Addr, write bool) memsy
 }
 
 // hit serves a tag-array hit.
-func (c *Cache) hit(t uint64, core int, addr memsys.Addr, line *tagLine, write bool) memsys.Result {
+func (c *Cache) hit(t memsys.Cycle, core int, addr memsys.Addr, line *tagLine, write bool) memsys.Result {
 	c.tags[core].Touch(line)
 	line.Data.reuses++
-	lat := 0
+	var lat memsys.Cycles
 	// The d-group that serves this access; captured before promotion or
 	// replication moves the pointer, since Figure 9 classifies the
 	// access by where the data was when it was read.
@@ -56,7 +56,7 @@ func (c *Cache) hit(t uint64, core int, addr memsys.Addr, line *tagLine, write b
 			lat += c.transact(t, bus.BusUpg)
 			c.upgradeToM(core, addr, line)
 			servedDG = line.Data.fwd.dgroup
-			lat += c.dgAccess(t+uint64(lat), core, servedDG)
+			lat += c.dgAccess(t.Add(lat), core, servedDG)
 		} else {
 			p := line.Data.fwd
 			lat += c.dgAccess(t, core, p.dgroup)
@@ -190,7 +190,7 @@ type snoopState struct {
 	clean     bool // shared signal: an S or E copy exists
 	dirtyPtr  ptr  // the single dirty data copy
 	bestClean ptr  // the clean copy fastest to reach from the requester
-	bestLat   int
+	bestLat   memsys.Cycles
 }
 
 // snoop samples the other tag arrays the way the bus's wired-OR
@@ -221,14 +221,14 @@ func (c *Cache) snoop(core int, addr memsys.Addr) snoopState {
 
 // miss handles a tag-array miss: snoop, classify per the paper's
 // taxonomy, and run the matching coherence flow.
-func (c *Cache) miss(t uint64, core int, addr memsys.Addr, write bool) memsys.Result {
+func (c *Cache) miss(t memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Result {
 	s := c.snoop(core, addr)
 	kind := bus.BusRd
 	if write {
 		kind = bus.BusRdX
 	}
 	lat := c.transact(t, kind)
-	t2 := t + uint64(lat)
+	t2 := t.Add(lat)
 
 	switch {
 	case s.dirty:
@@ -249,7 +249,7 @@ func (c *Cache) miss(t uint64, core int, addr memsys.Addr, write bool) memsys.Re
 
 // missClean handles a miss on a block with clean on-chip copies: a ROS
 // miss. Reads use controlled replication; writes take MESI ownership.
-func (c *Cache) missClean(t uint64, core int, addr memsys.Addr, write bool, s snoopState, lat int) memsys.Result {
+func (c *Cache) missClean(t memsys.Cycle, core int, addr memsys.Addr, write bool, s snoopState, lat memsys.Cycles) memsys.Result {
 	if write {
 		// BusRdX: sample the data from the nearest clean copy, then
 		// every other copy is invalidated and we allocate ours.
@@ -293,7 +293,7 @@ func (c *Cache) missClean(t uint64, core int, addr memsys.Addr, write bool, s sn
 // missDirty handles a miss on a block with a dirty on-chip copy: a RWS
 // miss. With ISC the requester joins the communication group; without
 // it the flows are plain MESI cache-to-cache transfers.
-func (c *Cache) missDirty(t uint64, core int, addr memsys.Addr, write bool, s snoopState, lat int) memsys.Result {
+func (c *Cache) missDirty(t memsys.Cycle, core int, addr memsys.Addr, write bool, s snoopState, lat memsys.Cycles) memsys.Result {
 	q := s.dirtyPtr
 	if !c.cfg.EnableISC {
 		return c.missDirtyMESI(t, core, addr, write, q, lat)
@@ -345,12 +345,12 @@ func (c *Cache) missDirty(t uint64, core int, addr memsys.Addr, write bool, s sn
 	c.tags[core].Install(v, addr, tagPayload{
 		state: coherence.Communication, fwd: np, broughtBy: memsys.RWSMiss,
 	})
-	lat += c.dgAccess(t+uint64(lat), core, cl)
+	lat += c.dgAccess(t.Add(lat), core, cl)
 	return memsys.Result{Latency: lat, Category: memsys.RWSMiss, DGroup: -1}
 }
 
 // missDirtyMESI is the RWS-miss flow with ISC disabled: plain MESI.
-func (c *Cache) missDirtyMESI(t uint64, core int, addr memsys.Addr, write bool, q ptr, lat int) memsys.Result {
+func (c *Cache) missDirtyMESI(t memsys.Cycle, core int, addr memsys.Addr, write bool, q ptr, lat memsys.Cycles) memsys.Result {
 	lat += c.dgAccess(t, core, q.dgroup)
 	c.stats.BusTransactions.Inc(memsys.LabelFlush)
 	if write {

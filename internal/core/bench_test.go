@@ -20,7 +20,7 @@ func BenchmarkHitClosest(b *testing.B) {
 	addr := memsys.Addr(0x1000)
 	c.Access(0, 0, addr, false)
 	b.ResetTimer()
-	now := uint64(100)
+	now := memsys.Cycle(100)
 	for i := 0; i < b.N; i++ {
 		c.Access(now, 0, addr, false)
 		now += 10
@@ -33,7 +33,7 @@ func BenchmarkHitCommunication(b *testing.B) {
 	c.Access(0, 0, addr, true)
 	c.Access(50, 1, addr, false) // C group
 	b.ResetTimer()
-	now := uint64(100)
+	now := memsys.Cycle(100)
 	for i := 0; i < b.N; i++ {
 		c.Access(now, i%2, addr, i%2 == 0)
 		now += 10
@@ -43,7 +43,7 @@ func BenchmarkHitCommunication(b *testing.B) {
 func BenchmarkMissCapacity(b *testing.B) {
 	c := benchCache()
 	b.ResetTimer()
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	for i := 0; i < b.N; i++ {
 		// A fresh block every time: always a capacity miss with the
 		// full placement path (tag victim, demotion chain once full).
@@ -56,7 +56,7 @@ func BenchmarkMixedWorkload(b *testing.B) {
 	c := benchCache()
 	r := rng.New(1)
 	b.ResetTimer()
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	for i := 0; i < b.N; i++ {
 		core := r.Intn(4)
 		var addr memsys.Addr
@@ -76,7 +76,7 @@ func BenchmarkMixedWorkload(b *testing.B) {
 func BenchmarkCheckInvariants(b *testing.B) {
 	c := benchCache()
 	r := rng.New(2)
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	for i := 0; i < 50000; i++ {
 		c.Access(now, r.Intn(4), memsys.Addr(r.Intn(1<<20))*128, r.Bool(0.3))
 		now += 10

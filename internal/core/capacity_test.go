@@ -23,7 +23,7 @@ func TestTagCapacityBoundsReach(t *testing.T) {
 	tagEntries := cfg.TagSets * cfg.TagWays
 	blocks := tagEntries + 16 // exceeds tag reach, fits data array? 48 > 32
 
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	for i := 0; i < blocks; i++ {
 		c.Access(now, 0, memsys.Addr(i*64), false)
 		now += 100
@@ -52,7 +52,7 @@ func TestSharedDataArrayAbsorbsSkewedDemand(t *testing.T) {
 	cfg := tinyConfig()
 	c := New(cfg)
 	blocks := cfg.TagSets * cfg.TagWays // exactly the tag reach (32)
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	for i := 0; i < blocks; i++ {
 		c.Access(now, 0, memsys.Addr(i*64), false)
 		now += 100
@@ -86,7 +86,7 @@ func TestSharedDataArrayAbsorbsSkewedDemand(t *testing.T) {
 func TestDemotionsPreserveOwnership(t *testing.T) {
 	cfg := tinyConfig()
 	c := New(cfg)
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	for i := 0; i < 24; i++ { // overflow d-group a (16 frames)
 		c.Access(now, 0, memsys.Addr(i*64), false)
 		now += 100
@@ -124,7 +124,7 @@ func TestBusReplOnlyForSharedEvictions(t *testing.T) {
 	// Fill set 0 of core 0 with private blocks, then overflow it:
 	// private evictions must not BusRepl.
 	stride := cfg.TagSets * 64
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	for i := 0; i <= cfg.TagWays; i++ {
 		c.Access(now, 0, memsys.Addr(0x100000+i*stride), true)
 		now += 100
@@ -149,7 +149,7 @@ func TestOwnerEvictionOfSharedCopy(t *testing.T) {
 	// fifth, evicting the LRU shared entry — X, whose copy P0 owns.
 	X := memsys.Addr(0x2000)
 	blocks := []memsys.Addr{X, 0x2200, 0x2400, 0x2600, 0x2800}
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	for _, a := range blocks {
 		read(c, now, 0, a) // P0 owns the copy (E)
 		now += 50
@@ -181,7 +181,7 @@ func TestOwnerEvictionOfSharedCopy(t *testing.T) {
 // by the capacity report.
 func TestOwnershipByDGroup(t *testing.T) {
 	c := New(tinyConfig())
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	// 24 private blocks for core 0: 16 fill its d-group, 8 are stolen.
 	for i := 0; i < 24; i++ {
 		read(c, now, 0, memsys.Addr(i*64))

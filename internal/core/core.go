@@ -67,7 +67,7 @@ func (p PromotionPolicy) String() string {
 // Config describes a CMP-NuRAPID instance.
 type Config struct {
 	Cores      int
-	BlockBytes int
+	BlockBytes memsys.Bytes
 
 	// TagSets/TagWays size each core's private tag array. The paper
 	// doubles the sets of a 2 MB private cache's tag (§2.2.2).
@@ -79,15 +79,15 @@ type Config struct {
 	DGroupFrames int
 
 	// Latencies (cycles).
-	TagLatency int
-	DGroupLat  [topo.NumCores][topo.NumDGroups]int
+	TagLatency memsys.Cycles
+	DGroupLat  [topo.NumCores][topo.NumDGroups]memsys.Cycles
 	// DGroupOccupancy is how long one access keeps a d-group's single,
 	// unpipelined port busy: the bank's intrinsic access time. The
 	// remote-access latencies in DGroupLat additionally include wire
 	// transit, which pipelines on the crossbar and does not hold the
 	// bank.
-	DGroupOccupancy int
-	MemLatency      int
+	DGroupOccupancy memsys.Cycles
+	MemLatency      memsys.Cycles
 
 	Bus bus.Config
 
@@ -322,17 +322,17 @@ func (c *Cache) dropL1(core int, addr memsys.Addr) {
 func (c *Cache) closest(core int) int { return topo.Closest(core) }
 
 // latTo returns the d-group access latency from core's position.
-func (c *Cache) latTo(core, dg int) int { return c.cfg.DGroupLat[core][dg] }
+func (c *Cache) latTo(core, dg int) memsys.Cycles { return c.cfg.DGroupLat[core][dg] }
 
 // dgAccess reserves dg's single port at cycle now for one access from
 // core and returns the latency including any port contention.
-func (c *Cache) dgAccess(now uint64, core, dg int) int {
+func (c *Cache) dgAccess(now memsys.Cycle, core, dg int) memsys.Cycles {
 	occ := c.cfg.DGroupOccupancy
 	if occ <= 0 {
 		occ = c.latTo(dg, dg) // the adjacent-core access time
 	}
 	start := c.dgroups[dg].port.Acquire(now, occ)
-	return int(start-now) + c.latTo(core, dg)
+	return start.Sub(now) + c.latTo(core, dg)
 }
 
 // countBus tallies a bus transaction into the stats distribution.
@@ -355,19 +355,19 @@ func (c *Cache) countBus(kind bus.Kind) {
 
 // transact issues a bus transaction and returns the cycles it adds to
 // the requester's critical path.
-func (c *Cache) transact(now uint64, kind bus.Kind) int {
+func (c *Cache) transact(now memsys.Cycle, kind bus.Kind) memsys.Cycles {
 	vis := c.bus.Transact(now, kind)
 	c.countBus(kind)
-	return int(vis - now)
+	return vis.Sub(now)
 }
 
 // post issues a bus transaction that does not stall the requester
 // beyond arbitration (used for the posted write-through invalidations
 // of C-state writes).
-func (c *Cache) post(now uint64, kind bus.Kind) int {
+func (c *Cache) post(now memsys.Cycle, kind bus.Kind) memsys.Cycles {
 	vis := c.bus.Transact(now, kind)
 	c.countBus(kind)
-	wait := int(vis-now) - c.bus.Latency()
+	wait := vis.Sub(now) - c.bus.Latency()
 	if wait < 0 {
 		wait = 0
 	}

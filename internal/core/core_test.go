@@ -28,17 +28,17 @@ func tinyConfig() Config {
 	}
 	for c := 0; c < topo.NumCores; c++ {
 		for g := 0; g < topo.NumDGroups; g++ {
-			cfg.DGroupLat[c][g] = 2 + 7*topo.Distance(c, g)
+			cfg.DGroupLat[c][g] = memsys.CyclesOf(2 + 7*topo.Distance(c, g))
 		}
 	}
 	return cfg
 }
 
-func read(c *Cache, now uint64, core int, addr memsys.Addr) memsys.Result {
+func read(c *Cache, now memsys.Cycle, core int, addr memsys.Addr) memsys.Result {
 	return c.Access(now, core, addr, false)
 }
 
-func write(c *Cache, now uint64, core int, addr memsys.Addr) memsys.Result {
+func write(c *Cache, now memsys.Cycle, core int, addr memsys.Addr) memsys.Result {
 	return c.Access(now, core, addr, true)
 }
 
@@ -208,7 +208,7 @@ func TestInSituCommunicationNoCoherenceMisses(t *testing.T) {
 	write(c, 0, 0, X)
 	read(c, 100, 1, X) // group forms, copy in b
 
-	now := uint64(200)
+	now := memsys.Cycle(200)
 	for i := 0; i < 10; i++ {
 		w := write(c, now, 0, X)
 		if w.Category != memsys.Hit {
@@ -364,7 +364,7 @@ func TestCapacityStealing(t *testing.T) {
 	// sets to avoid tag conflicts: 8 sets * 4 ways = 32 entries.
 	misses := 0
 	for i := 0; i < 24; i++ {
-		r := read(c, uint64(i*100), 0, memsys.Addr(i*64))
+		r := read(c, memsys.Cycle(i*100), 0, memsys.Addr(i*64))
 		if r.Category != memsys.Hit {
 			misses++
 		}
@@ -374,7 +374,7 @@ func TestCapacityStealing(t *testing.T) {
 	}
 	// All 24 blocks must still be on-chip: re-reads are hits.
 	for i := 0; i < 24; i++ {
-		r := read(c, uint64(10000+i*100), 0, memsys.Addr(i*64))
+		r := read(c, memsys.Cycle(10000+i*100), 0, memsys.Addr(i*64))
 		if r.Category != memsys.Hit {
 			t.Errorf("block %d evicted despite free neighbour capacity", i)
 		}
@@ -398,7 +398,7 @@ func TestCapacityStealing(t *testing.T) {
 func TestPromotionFastest(t *testing.T) {
 	c := New(tinyConfig())
 	for i := 0; i < 20; i++ {
-		read(c, uint64(i*100), 0, memsys.Addr(i*64))
+		read(c, memsys.Cycle(i*100), 0, memsys.Addr(i*64))
 	}
 	// Find a demoted block.
 	var demoted memsys.Addr
@@ -431,13 +431,13 @@ func TestSharedBlocksNeverDemoted(t *testing.T) {
 	// Create shared blocks.
 	for i := 0; i < 8; i++ {
 		a := memsys.Addr(0x8000 + i*64)
-		read(c, uint64(i*10), 0, a)
-		read(c, uint64(i*10+500), 1, a)
-		read(c, uint64(i*10+1000), 1, a) // replicate
+		read(c, memsys.Cycle(i*10), 0, a)
+		read(c, memsys.Cycle(i*10+500), 1, a)
+		read(c, memsys.Cycle(i*10+1000), 1, a) // replicate
 	}
 	// Pressure core 0's closest d-group with private fills.
 	for i := 0; i < 40; i++ {
-		read(c, uint64(5000+i*50), 0, memsys.Addr(i*64))
+		read(c, memsys.Cycle(5000+i*50), 0, memsys.Addr(i*64))
 	}
 	c.CheckInvariants() // would panic on any dangling pointer
 }
@@ -461,7 +461,7 @@ func TestBusReplInvalidatesPointerSharers(t *testing.T) {
 	// (0x2000>>6)&7 = 0. Blocks at stride sets*block map to set 0.
 	stride := 8 * 64
 	for i := 1; i <= 4; i++ {
-		read(c, uint64(100+i*100), 0, memsys.Addr(0x2000+i*stride))
+		read(c, memsys.Cycle(100+i*100), 0, memsys.Addr(0x2000+i*stride))
 	}
 	// P0's set-0 entries: X was LRU... X may be evicted; if the shared
 	// X was the victim, P1's pointer must have been invalidated too.
@@ -520,7 +520,7 @@ func TestRandomWorkloadInvariants(t *testing.T) {
 			v.mut(&cfg)
 			c := New(cfg)
 			r := rng.New(77)
-			now := uint64(0)
+			now := memsys.Cycle(0)
 			for i := 0; i < 30000; i++ {
 				coreID := r.Intn(4)
 				var addr memsys.Addr
@@ -537,7 +537,7 @@ func TestRandomWorkloadInvariants(t *testing.T) {
 				if res.Latency <= 0 {
 					t.Fatalf("non-positive latency at access %d", i)
 				}
-				now += uint64(r.Intn(20) + 1)
+				now += memsys.Cycle(r.Intn(20) + 1)
 				if i%2500 == 0 {
 					c.CheckInvariants()
 				}
@@ -563,7 +563,7 @@ func TestISCReducesRWSMisses(t *testing.T) {
 		cfg.EnableISC = isc
 		c := New(cfg)
 		X := memsys.Addr(0x3000)
-		now := uint64(0)
+		now := memsys.Cycle(0)
 		for i := 0; i < 200; i++ {
 			write(c, now, 0, X)
 			now += 50
@@ -590,7 +590,7 @@ func TestCRReducesCapacityPressure(t *testing.T) {
 		cfg := tinyConfig()
 		cfg.Replication = policy
 		c := New(cfg)
-		now := uint64(0)
+		now := memsys.Cycle(0)
 		for i := 0; i < 12; i++ {
 			a := memsys.Addr(0x8000 + i*64)
 			for coreID := 0; coreID < 4; coreID++ {
@@ -630,7 +630,7 @@ func TestDefaultConfigConstructs(t *testing.T) {
 	c := New(DefaultConfig())
 	// Smoke-run the paper-scale geometry.
 	r := rng.New(5)
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	for i := 0; i < 5000; i++ {
 		c.Access(now, r.Intn(4), memsys.Addr(r.Intn(1<<20)), r.Bool(0.3))
 		now += 10

@@ -32,7 +32,7 @@ func stuckCSetup(t *testing.T, threshold int) (*Cache, memsys.Addr) {
 
 func TestStuckCCopyWithoutMigration(t *testing.T) {
 	c, Y := stuckCSetup(t, 0) // paper's design: no exits out of C
-	now := uint64(300)
+	now := memsys.Cycle(300)
 	for i := 0; i < 20; i++ {
 		r := read(c, now, 1, Y)
 		if r.Category != memsys.Hit {
@@ -52,7 +52,7 @@ func TestStuckCCopyWithoutMigration(t *testing.T) {
 func TestStuckCCopyMigrates(t *testing.T) {
 	const threshold = 4
 	c, Y := stuckCSetup(t, threshold)
-	now := uint64(300)
+	now := memsys.Cycle(300)
 	migratedAt := -1
 	for i := 0; i < 20; i++ {
 		r := read(c, now, 1, Y)
@@ -90,7 +90,7 @@ func TestStuckCCopyMigrates(t *testing.T) {
 func TestMigrationCounterResetsOnLocalRead(t *testing.T) {
 	const threshold = 5
 	c, Y := stuckCSetup(t, threshold)
-	now := uint64(300)
+	now := memsys.Cycle(300)
 	// P1 reads remotely threshold-1 times (just under the trigger),
 	// then the producer writes: writes never trigger migration, and
 	// the copy stays where the last reader pulled it.
@@ -113,7 +113,7 @@ func TestMigrationUnderInvariantFuzz(t *testing.T) {
 	cfg.CMigrationThreshold = 3
 	c := New(cfg)
 	// Reuse the shared fuzz shape: mixed private/RO/RW traffic.
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	seed := uint64(0xfeed)
 	next := func(n int) int {
 		seed = seed*6364136223846793005 + 1442695040888963407
@@ -131,7 +131,7 @@ func TestMigrationUnderInvariantFuzz(t *testing.T) {
 			addr = memsys.Addr(0x90000 + next(8)*64)
 		}
 		c.Access(now, coreID, addr, next(10) < 3)
-		now += uint64(next(20) + 1)
+		now += memsys.Cycle(next(20) + 1)
 		if i%5000 == 0 {
 			c.CheckInvariants()
 		}

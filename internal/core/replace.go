@@ -95,7 +95,7 @@ func (c *Cache) anyDirtyTag(addr memsys.Addr, p ptr) bool {
 // dirty, broadcasts BusRepl when the dying block is shared (so sharers
 // with tag entries pointing at the frame invalidate them, §3.1), and
 // frees the frame.
-func (c *Cache) evictFrame(now uint64, p ptr) {
+func (c *Cache) evictFrame(now memsys.Cycle, p ptr) {
 	fr := c.frameAt(p)
 	addr := fr.addr
 	holders := c.pointersTo(addr, p)
@@ -153,7 +153,7 @@ func (c *Cache) pickVictimFrame(g int) int {
 // the cycle being broken is the demotion loop around the farther
 // d-groups, so the originating d-group itself is excluded; stopping
 // there would evict locally even while neighbours sit empty).
-func (c *Cache) freeFrameIn(now uint64, core, g, stop int) int {
+func (c *Cache) freeFrameIn(now memsys.Cycle, core, g, stop int) int {
 	if stop < 0 {
 		if r := topo.Rank(core, g); r < topo.NumDGroups-1 {
 			stop = topo.Preference[core][r+1+c.rand.Intn(topo.NumDGroups-1-r)]
@@ -164,7 +164,7 @@ func (c *Cache) freeFrameIn(now uint64, core, g, stop int) int {
 	return c.freeFrameRec(now, core, g, stop, 0)
 }
 
-func (c *Cache) freeFrameRec(now uint64, core, g, stop, depth int) int {
+func (c *Cache) freeFrameRec(now memsys.Cycle, core, g, stop, depth int) int {
 	if depth > topo.NumDGroups {
 		panic("core: demotion chain did not terminate")
 	}
@@ -236,7 +236,7 @@ func (c *Cache) tagVictim(core int, addr memsys.Addr) *tagLine {
 // the data-side consequences per §3.3.2, and returns the d-group where
 // a frame was freed (the specific target for distance replacement), or
 // -1 when no frame was freed (pointer-only entries and invalid lines).
-func (c *Cache) evictTagEntry(now uint64, core int, l *tagLine) int {
+func (c *Cache) evictTagEntry(now memsys.Cycle, core int, l *tagLine) int {
 	if !l.Valid {
 		return -1
 	}
@@ -275,7 +275,7 @@ func (c *Cache) evictTagEntry(now uint64, core int, l *tagLine) int {
 // evictFrameSharedRemainder evicts frame p after its owning tag has
 // already been killed: BusRepl, remaining-pointer invalidation,
 // write-back if a dirty (C) tag still points here.
-func (c *Cache) evictFrameSharedRemainder(now uint64, addr memsys.Addr, p ptr) {
+func (c *Cache) evictFrameSharedRemainder(now memsys.Cycle, addr memsys.Addr, p ptr) {
 	if c.anyDirtyTag(addr, p) {
 		c.Writebacks++
 	}
@@ -291,7 +291,7 @@ func (c *Cache) evictFrameSharedRemainder(now uint64, addr memsys.Addr, p ptr) {
 // first. When the new entry needs a data frame in core's closest
 // d-group, the caller allocates it via allocClosest (which uses the
 // freed d-group as the demotion target).
-func (c *Cache) installTag(now uint64, core int, addr memsys.Addr, pay tagPayload) *tagLine {
+func (c *Cache) installTag(now memsys.Cycle, core int, addr memsys.Addr, pay tagPayload) *tagLine {
 	v := c.tagVictim(core, addr)
 	c.evictTagEntry(now, core, v)
 	return c.tags[core].Install(v, addr, pay)
@@ -302,7 +302,7 @@ func (c *Cache) installTag(now uint64, core int, addr memsys.Addr, pay tagPayloa
 // This is the common "bring a block into the cache near me" path used
 // by placement (§3.3.1: "CMP-NuRAPID initially places all private
 // blocks in the data d-group closest to the initiating core").
-func (c *Cache) allocClosest(now uint64, core int, addr memsys.Addr, pay tagPayload) *tagLine {
+func (c *Cache) allocClosest(now memsys.Cycle, core int, addr memsys.Addr, pay tagPayload) *tagLine {
 	v := c.tagVictim(core, addr)
 	freed := c.evictTagEntry(now, core, v)
 	cl := c.closest(core)
@@ -314,7 +314,7 @@ func (c *Cache) allocClosest(now uint64, core int, addr memsys.Addr, pay tagPayl
 
 // promote applies the CS promotion policy to core's private block l
 // that just hit in a non-closest d-group (§3.3.1).
-func (c *Cache) promote(now uint64, core int, l *tagLine) {
+func (c *Cache) promote(now memsys.Cycle, core int, l *tagLine) {
 	if c.cfg.Promotion == NoPromotion {
 		return
 	}

@@ -6,6 +6,7 @@ import (
 	"cmpnurapid/internal/cmpsim"
 	"cmpnurapid/internal/core"
 	"cmpnurapid/internal/l2"
+	"cmpnurapid/internal/memsys"
 	"cmpnurapid/internal/stats"
 	"cmpnurapid/internal/workload"
 )
@@ -24,7 +25,7 @@ var bandwidthDesigns = []DesignName{Private, NuRAPID}
 type busRun struct {
 	results cmpsim.Results
 	busTx   uint64
-	busWait uint64
+	busWait memsys.Cycles
 }
 
 func bandwidthKey(wname string, d DesignName) string { return "bw/" + wname + "/" + string(d) }

@@ -21,7 +21,7 @@ import (
 // SizedDesign constructs one of the three principal designs at an
 // alternative total capacity, with latencies re-derived from the
 // timing model at that geometry.
-func SizedDesign(d DesignName, totalBytes int) memsys.L2 {
+func SizedDesign(d DesignName, totalBytes memsys.Bytes) memsys.L2 {
 	dgroupBytes := totalBytes / topo.NumDGroups
 	lat := topo.DeriveWith(dgroupBytes)
 	switch d {
@@ -33,8 +33,8 @@ func SizedDesign(d DesignName, totalBytes int) memsys.L2 {
 			lat.PrivateTotal, bus.Config{Latency: lat.Bus, SlotCycles: 4}, 300)
 	case NuRAPID:
 		cfg := core.DefaultConfig()
-		cfg.TagSets = 2 * (dgroupBytes / (topo.BlockBytes * topo.PrivateAssoc))
-		cfg.DGroupFrames = dgroupBytes / topo.BlockBytes
+		cfg.TagSets = 2 * dgroupBytes.Per(topo.BlockBytes*topo.PrivateAssoc)
+		cfg.DGroupFrames = dgroupBytes.Per(topo.BlockBytes)
 		cfg.TagLatency = lat.NuRAPIDTag
 		cfg.DGroupLat = lat.DGroupData
 		cfg.DGroupOccupancy = lat.PrivateData
@@ -58,7 +58,7 @@ func sizedKey(d DesignName, totalMB int) string {
 // sizedRun memoizes one (design, capacity) point of the sweep.
 func (e *Eval) sizedRun(d DesignName, totalMB int) cmpsim.Results {
 	return e.results(sizedKey(d, totalMB), func() cmpsim.Results {
-		return runSized(d, totalMB<<20, e.RC)
+		return runSized(d, memsys.MB(totalMB), e.RC)
 	})
 }
 
@@ -98,7 +98,7 @@ func SizeSensitivity(rc RunConfig, totalsMB []int) *stats.Table {
 	return NewEval(rc).SizeSensitivity(totalsMB)
 }
 
-func runSized(d DesignName, totalBytes int, rc RunConfig) cmpsim.Results {
+func runSized(d DesignName, totalBytes memsys.Bytes, rc RunConfig) cmpsim.Results {
 	p := workload.OLTP(rc.Seed)
 	sys := cmpsim.New(cmpsim.DefaultConfig(), SizedDesign(d, totalBytes), workload.New(p))
 	sys.Warmup(rc.WarmupInstr)
@@ -108,7 +108,7 @@ func runSized(d DesignName, totalBytes int, rc RunConfig) cmpsim.Results {
 // SizeSpeedups returns (private, nurapid) speedups over uniform-shared
 // at one capacity, for tests.
 func SizeSpeedups(rc RunConfig, totalMB int) (private, nurapid float64) {
-	total := totalMB << 20
+	total := memsys.MB(totalMB)
 	base := runSized(UniformShared, total, rc)
 	return cmpsim.Speedup(runSized(Private, total, rc), base),
 		cmpsim.Speedup(runSized(NuRAPID, total, rc), base)

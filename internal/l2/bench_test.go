@@ -10,7 +10,7 @@ import (
 func BenchmarkSharedAccess(b *testing.B) {
 	s := NewUniformShared()
 	r := rng.New(1)
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Access(now, r.Intn(4), memsys.Addr(r.Intn(1<<16)*128), r.Bool(0.3))
@@ -21,7 +21,7 @@ func BenchmarkSharedAccess(b *testing.B) {
 func BenchmarkSNUCAAccess(b *testing.B) {
 	s := NewSNUCA()
 	r := rng.New(1)
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Access(now, r.Intn(4), memsys.Addr(r.Intn(1<<16)*128), r.Bool(0.3))
@@ -32,7 +32,7 @@ func BenchmarkSNUCAAccess(b *testing.B) {
 func BenchmarkPrivateAccess(b *testing.B) {
 	p := NewPrivate()
 	r := rng.New(1)
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core := r.Intn(4)

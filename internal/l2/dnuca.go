@@ -34,8 +34,8 @@ import (
 type DNUCA struct {
 	banks      []*cache.Array[sharedPayload]
 	ports      []bus.Port
-	lat        [topo.NumCores][topo.NumDGroups]int
-	memLatency int
+	lat        [topo.NumCores][topo.NumDGroups]memsys.Cycles
+	memLatency memsys.Cycles
 	stats      *memsys.L2Stats
 	l1inv      func(core int, addr memsys.Addr)
 	// Migrations counts inter-bank block moves.
@@ -51,7 +51,7 @@ func NewDNUCA() *DNUCA {
 }
 
 // NewDNUCAWith builds a DNUCA with explicit geometry and timing.
-func NewDNUCAWith(bankBytes, ways, blockBytes int, dist [topo.NumCores][topo.NumDGroups]int, netOverhead, memLatency int) *DNUCA {
+func NewDNUCAWith(bankBytes memsys.Bytes, ways int, blockBytes memsys.Bytes, dist [topo.NumCores][topo.NumDGroups]memsys.Cycles, netOverhead, memLatency memsys.Cycles) *DNUCA {
 	d := &DNUCA{
 		ports:      make([]bus.Port, topo.NumDGroups),
 		memLatency: memLatency,
@@ -78,7 +78,7 @@ func (d *DNUCA) Stats() *memsys.L2Stats { return d.stats }
 // SetL1Invalidate implements memsys.L1Invalidator.
 func (d *DNUCA) SetL1Invalidate(fn func(core int, addr memsys.Addr)) { d.l1inv = fn }
 
-func (d *DNUCA) blockBytes() int { return d.banks[0].Geometry().BlockBytes }
+func (d *DNUCA) blockBytes() memsys.Bytes { return d.banks[0].Geometry().BlockBytes }
 
 // bankset returns the banks addr may live in, ordered by the
 // requester's preference. With four banks there are two banksets —
@@ -86,7 +86,7 @@ func (d *DNUCA) blockBytes() int { return d.banks[0].Geometry().BlockBytes }
 // nearest member is its closest bank and one whose members are both a
 // middle-distance hop away.
 func (d *DNUCA) bankset(core int, addr memsys.Addr) [2]int {
-	bit := int(uint64(addr)>>uint(log2i(d.blockBytes()))) & 1
+	bit := int(uint64(addr)>>uint(log2i(int(d.blockBytes())))) & 1
 	var set [2]int
 	if bit == 0 {
 		set = [2]int{0, 3} // a, d
@@ -123,15 +123,15 @@ func (d *DNUCA) BankOf(addr memsys.Addr) int {
 // Access implements memsys.L2: incremental search of the bankset in
 // the requester's preference order, migration toward the requester on
 // a hit in the less-preferred bank.
-func (d *DNUCA) Access(now uint64, core int, addr memsys.Addr, write bool) memsys.Result {
+func (d *DNUCA) Access(now memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Result {
 	addr = addr.BlockAddr(d.blockBytes())
 	set := d.bankset(core, addr)
-	lat := 0
+	var lat memsys.Cycles
 	for i, b := range set {
 		if l := d.banks[b].Probe(addr); l != nil {
 			d.banks[b].Touch(l)
-			start := d.ports[b].Acquire(now+uint64(lat), snucaSlotCycles)
-			lat += int(start-(now+uint64(lat))) + d.lat[core][b]
+			start := d.ports[b].Acquire(now.Add(lat), snucaSlotCycles)
+			lat += start.Sub(now.Add(lat)) + d.lat[core][b]
 			closest := b == topo.Closest(core)
 			if i > 0 {
 				d.migrate(addr, b, set[0])

@@ -9,10 +9,10 @@ import (
 )
 
 func smallDNUCA() *DNUCA {
-	var dist [topo.NumCores][topo.NumDGroups]int
+	var dist [topo.NumCores][topo.NumDGroups]memsys.Cycles
 	for c := 0; c < topo.NumCores; c++ {
 		for g := 0; g < topo.NumDGroups; g++ {
-			dist[c][g] = 2 + 7*topo.Distance(c, g)
+			dist[c][g] = memsys.CyclesOf(2 + 7*topo.Distance(c, g))
 		}
 	}
 	return NewDNUCAWith(4<<10, 4, 64, dist, 10, 300)
@@ -74,7 +74,7 @@ func TestDNUCASingleCopy(t *testing.T) {
 	d := smallDNUCA()
 	a := memsys.Addr(0x1000)
 	for c := 0; c < 4; c++ {
-		d.Access(uint64(c*100), c, a, false)
+		d.Access(memsys.Cycle(c*100), c, a, false)
 	}
 	copies := 0
 	for b := 0; b < topo.NumDGroups; b++ {
@@ -98,7 +98,7 @@ func TestDNUCASharersPullBlockAround(t *testing.T) {
 	// Opposite-corner sharers alternate.
 	banks := map[int]bool{}
 	migBefore := d.Migrations
-	now := uint64(100)
+	now := memsys.Cycle(100)
 	for i := 0; i < 40; i++ {
 		d.Access(now, []int{0, 3}[i%2], a, false)
 		banks[d.BankOf(a)] = true
@@ -136,7 +136,7 @@ func TestDNUCASearchCostsAccumulate(t *testing.T) {
 func TestDNUCARandomInvariants(t *testing.T) {
 	d := smallDNUCA()
 	r := rng.New(17)
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	for i := 0; i < 30000; i++ {
 		coreID := r.Intn(4)
 		var addr memsys.Addr
@@ -146,7 +146,7 @@ func TestDNUCARandomInvariants(t *testing.T) {
 			addr = memsys.Addr(0x80000 + r.Intn(24)*64)
 		}
 		d.Access(now, coreID, addr, r.Bool(0.3))
-		now += uint64(r.Intn(20) + 1)
+		now += memsys.Cycle(r.Intn(20) + 1)
 		if i%5000 == 0 {
 			d.CheckInvariants()
 		}

@@ -21,10 +21,10 @@ func smallPrivate() *Private {
 }
 
 func smallSNUCA() *SNUCA {
-	var dist [topo.NumCores][topo.NumDGroups]int
+	var dist [topo.NumCores][topo.NumDGroups]memsys.Cycles
 	for c := 0; c < topo.NumCores; c++ {
 		for g := 0; g < topo.NumDGroups; g++ {
-			dist[c][g] = 2 + 7*topo.Distance(c, g)
+			dist[c][g] = memsys.CyclesOf(2 + 7*topo.Distance(c, g))
 		}
 	}
 	return NewSNUCAWith(4<<10, 4, 64, dist, 24, 300)
@@ -104,11 +104,11 @@ func TestSNUCANonUniformLatency(t *testing.T) {
 	s := smallSNUCA()
 	// Warm one block per bank, then compare hit latencies from core 0.
 	for i := 0; i < 4; i++ {
-		s.Access(uint64(i*1000), 0, memsys.Addr(i*64), false)
+		s.Access(memsys.Cycle(i*1000), 0, memsys.Addr(i*64), false)
 	}
-	lats := map[int]int{}
+	lats := map[int]memsys.Cycles{}
 	for i := 0; i < 4; i++ {
-		r := s.Access(uint64(10000+i*1000), 0, memsys.Addr(i*64), false)
+		r := s.Access(memsys.Cycle(10000+i*1000), 0, memsys.Addr(i*64), false)
 		if r.Category != memsys.Hit {
 			t.Fatalf("block %d missed", i)
 		}
@@ -202,7 +202,7 @@ func TestPrivateReplicationMakesCopies(t *testing.T) {
 	p := smallPrivate()
 	a := memsys.Addr(0x1000)
 	for c := 0; c < 4; c++ {
-		p.Access(uint64(c*100), c, a, false)
+		p.Access(memsys.Cycle(c*100), c, a, false)
 	}
 	copies := 0
 	for c := 0; c < 4; c++ {
@@ -240,7 +240,7 @@ func TestPrivateRWSPingPong(t *testing.T) {
 	p := smallPrivate()
 	a := memsys.Addr(0x3000)
 	p.Access(0, 0, a, true) // M in core 0
-	now := uint64(100)
+	now := memsys.Cycle(100)
 	for i := 0; i < 5; i++ {
 		r := p.Access(now, 1, a, false)
 		if r.Category != memsys.RWSMiss {
@@ -268,7 +268,7 @@ func TestPrivateEvictionRecordsReuse(t *testing.T) {
 	// Evict core 1's copy via set conflicts: 4 KB 4-way 64 B = 16 sets.
 	stride := 16 * 64
 	for i := 1; i <= 4; i++ {
-		p.Access(uint64(100+i*10), 1, memsys.Addr(0x1000+i*stride), false)
+		p.Access(memsys.Cycle(100+i*10), 1, memsys.Addr(0x1000+i*stride), false)
 	}
 	if got := p.Stats().ReuseROS.Total(); got != 1 {
 		t.Fatalf("ReuseROS lifetimes = %d, want 1", got)
@@ -297,7 +297,7 @@ func TestPrivateInvalidationRecordsRWSReuse(t *testing.T) {
 func TestPrivateRandomWorkloadInvariants(t *testing.T) {
 	p := smallPrivate()
 	r := rng.New(55)
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	for i := 0; i < 30000; i++ {
 		coreID := r.Intn(4)
 		var addr memsys.Addr
@@ -307,7 +307,7 @@ func TestPrivateRandomWorkloadInvariants(t *testing.T) {
 			addr = memsys.Addr(0x80000 + r.Intn(16)*64)
 		}
 		p.Access(now, coreID, addr, r.Bool(0.3))
-		now += uint64(r.Intn(20) + 1)
+		now += memsys.Cycle(r.Intn(20) + 1)
 		if i%5000 == 0 {
 			p.CheckInvariants()
 		}

@@ -27,8 +27,8 @@ type Private struct {
 	caches     []*cache.Array[privPayload]
 	ports      []bus.Port
 	bus        *bus.Bus
-	hitLatency int
-	memLatency int
+	hitLatency memsys.Cycles
+	memLatency memsys.Cycles
 	stats      *memsys.L2Stats
 	l1inv      func(core int, addr memsys.Addr)
 	// Writebacks counts dirty evictions and flushes reaching memory.
@@ -44,7 +44,7 @@ func NewPrivate() *Private {
 }
 
 // NewPrivateWith builds private caches with explicit geometry/timing.
-func NewPrivateWith(capacityBytes, ways, blockBytes, hitLatency int, busCfg bus.Config, memLatency int) *Private {
+func NewPrivateWith(capacityBytes memsys.Bytes, ways int, blockBytes memsys.Bytes, hitLatency memsys.Cycles, busCfg bus.Config, memLatency memsys.Cycles) *Private {
 	p := &Private{
 		ports:      make([]bus.Port, topo.NumCores),
 		bus:        bus.New(busCfg),
@@ -84,7 +84,7 @@ func (p *Private) StateOf(core int, addr memsys.Addr) coherence.State {
 	return l.Data.state
 }
 
-func (p *Private) blockBytes() int { return p.caches[0].Geometry().BlockBytes }
+func (p *Private) blockBytes() memsys.Bytes { return p.caches[0].Geometry().BlockBytes }
 
 // kill invalidates core's line, recording its lifetime and preserving
 // L1 inclusion.
@@ -170,12 +170,12 @@ func (p *Private) snoopOthers(core int, addr memsys.Addr, op coherence.BusOp) (s
 }
 
 // Access implements memsys.L2.
-func (p *Private) Access(now uint64, core int, addr memsys.Addr, write bool) memsys.Result {
+func (p *Private) Access(now memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Result {
 	addr = addr.BlockAddr(p.blockBytes())
 	arr := p.caches[core]
 	start := p.ports[core].Acquire(now, p.hitLatency)
-	lat := int(start-now) + p.hitLatency
-	t := now + uint64(lat)
+	lat := start.Sub(now) + p.hitLatency
+	t := now.Add(lat)
 
 	if l := arr.Probe(addr); l != nil {
 		arr.Touch(l)
@@ -189,7 +189,7 @@ func (p *Private) Access(now uint64, core int, addr memsys.Addr, write bool) mem
 			// S→M upgrade: the bus transaction is on the critical path.
 			vis := p.bus.Transact(t, bus.BusUpg)
 			p.stats.BusTransactions.Inc(memsys.LabelBusUpg)
-			lat += int(vis - t)
+			lat += vis.Sub(t)
 			p.snoopOthers(core, addr, coherence.BusUpg)
 		}
 		l.Data.state = next
@@ -222,14 +222,14 @@ func (p *Private) Access(now uint64, core int, addr memsys.Addr, write bool) mem
 	} else {
 		p.stats.BusTransactions.Inc(memsys.LabelBusRdX)
 	}
-	lat += int(vis - t)
-	t2 := now + uint64(lat)
+	lat += vis.Sub(t)
+	t2 := now.Add(lat)
 
 	supplier := p.snoopOthers(core, addr, mesiOp)
 	if supplier >= 0 {
 		// Cache-to-cache transfer: the supplier's access time.
 		remStart := p.ports[supplier].Acquire(t2, p.hitLatency)
-		lat += int(remStart-t2) + p.hitLatency
+		lat += remStart.Sub(t2) + p.hitLatency
 	} else {
 		p.stats.OffChipMisses++
 		lat += p.memLatency

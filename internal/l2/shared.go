@@ -23,8 +23,8 @@ type sharedPayload struct{}
 type Shared struct {
 	name       string
 	arr        *cache.Array[sharedPayload]
-	hitLatency int
-	memLatency int
+	hitLatency memsys.Cycles
+	memLatency memsys.Cycles
 	stats      *memsys.L2Stats
 	l1inv      func(core int, addr memsys.Addr)
 }
@@ -49,7 +49,7 @@ func NewIdeal() *Shared {
 }
 
 // NewShared builds a shared cache with explicit geometry and timing.
-func NewShared(name string, capacityBytes, ways, blockBytes, hitLatency, memLatency int) *Shared {
+func NewShared(name string, capacityBytes memsys.Bytes, ways int, blockBytes memsys.Bytes, hitLatency, memLatency memsys.Cycles) *Shared {
 	return &Shared{
 		name:       name,
 		arr:        cache.NewArray[sharedPayload](cache.GeometryFor(capacityBytes, ways, blockBytes)),
@@ -72,7 +72,7 @@ func (s *Shared) SetL1Invalidate(fn func(core int, addr memsys.Addr)) { s.l1inv 
 // capacity misses: every on-chip block has exactly one copy that all
 // cores reach at the same latency, so sharing never misses (Figure 5:
 // "Shared cache has only hits and capacity misses").
-func (s *Shared) Access(now uint64, core int, addr memsys.Addr, write bool) memsys.Result {
+func (s *Shared) Access(now memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Result {
 	addr = addr.BlockAddr(s.arr.Geometry().BlockBytes)
 	if l := s.arr.Probe(addr); l != nil {
 		s.arr.Touch(l)

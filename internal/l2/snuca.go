@@ -26,20 +26,20 @@ import (
 type SNUCA struct {
 	banks      []*cache.Array[sharedPayload]
 	ports      []bus.Port
-	lat        [topo.NumCores][topo.NumDGroups]int
-	memLatency int
+	lat        [topo.NumCores][topo.NumDGroups]memsys.Cycles
+	memLatency memsys.Cycles
 	stats      *memsys.L2Stats
 	l1inv      func(core int, addr memsys.Addr)
 }
 
 // SNUCANetOverhead is the per-access switched-network and distributed-
 // tag overhead in cycles added to each bank's wire-distance latency.
-const SNUCANetOverhead = 20
+const SNUCANetOverhead memsys.Cycles = 20
 
 // snucaSlotCycles is a bank's issue interval: SNUCA banks are
 // pipelined (they are ordinary banked-cache banks), unlike
 // CMP-NuRAPID's deliberately unpipelined d-groups (§3.3.2).
-const snucaSlotCycles = 4
+const snucaSlotCycles memsys.Cycles = 4
 
 // NewSNUCA builds the paper-scale configuration: four 2 MB 8-way banks
 // at the Table 1 d-group distances plus the network overhead.
@@ -50,7 +50,7 @@ func NewSNUCA() *SNUCA {
 }
 
 // NewSNUCAWith builds a SNUCA with explicit geometry and timing.
-func NewSNUCAWith(bankBytes, ways, blockBytes int, dist [topo.NumCores][topo.NumDGroups]int, netOverhead, memLatency int) *SNUCA {
+func NewSNUCAWith(bankBytes memsys.Bytes, ways int, blockBytes memsys.Bytes, dist [topo.NumCores][topo.NumDGroups]memsys.Cycles, netOverhead, memLatency memsys.Cycles) *SNUCA {
 	s := &SNUCA{
 		ports:      make([]bus.Port, topo.NumDGroups),
 		memLatency: memLatency,
@@ -80,7 +80,7 @@ func (s *SNUCA) SetL1Invalidate(fn func(core int, addr memsys.Addr)) { s.l1inv =
 // blockBits returns log2 of the block size.
 func (s *SNUCA) blockBits() uint {
 	b := uint(0)
-	for bs := s.banks[0].Geometry().BlockBytes; bs > 1; bs >>= 1 {
+	for bs := int(s.banks[0].Geometry().BlockBytes); bs > 1; bs >>= 1 {
 		b++
 	}
 	return b
@@ -128,12 +128,12 @@ func (s *SNUCA) CheckInvariants() {
 }
 
 // Access implements memsys.L2.
-func (s *SNUCA) Access(now uint64, core int, addr memsys.Addr, write bool) memsys.Result {
+func (s *SNUCA) Access(now memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Result {
 	addr = addr.BlockAddr(s.banks[0].Geometry().BlockBytes)
 	b := s.bankOf(addr)
 	lat := s.lat[core][b]
 	start := s.ports[b].Acquire(now, snucaSlotCycles)
-	lat += int(start - now)
+	lat += start.Sub(now)
 
 	bank := s.banks[b]
 	inner := s.innerAddr(addr)

@@ -13,12 +13,12 @@ func TestSNUCAInvariantsHoldUnderTraffic(t *testing.T) {
 	s := smallSNUCA()
 	s.SetL1Invalidate(func(core int, addr memsys.Addr) {})
 	r := rng.New(7)
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	for i := 0; i < 20000; i++ {
 		coreID := r.Intn(topo.NumCores)
 		addr := memsys.Addr(0x4000*(coreID+1) + r.Intn(256)*64)
 		s.Access(now, coreID, addr, r.Bool(0.25))
-		now += uint64(r.Intn(10) + 1)
+		now += memsys.Cycle(r.Intn(10) + 1)
 		if i%4000 == 0 {
 			s.CheckInvariants()
 		}

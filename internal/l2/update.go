@@ -29,8 +29,8 @@ type PrivateUpdate struct {
 	caches     []*cache.Array[updPayload]
 	ports      []bus.Port
 	bus        *bus.Bus
-	hitLatency int
-	memLatency int
+	hitLatency memsys.Cycles
+	memLatency memsys.Cycles
 	stats      *memsys.L2Stats
 	l1inv      func(core int, addr memsys.Addr)
 	// Updates counts write-triggered bus update broadcasts.
@@ -57,7 +57,7 @@ func NewPrivateUpdate() *PrivateUpdate {
 }
 
 // NewPrivateUpdateWith builds the baseline with explicit geometry.
-func NewPrivateUpdateWith(capacityBytes, ways, blockBytes, hitLatency int, busCfg bus.Config, memLatency int) *PrivateUpdate {
+func NewPrivateUpdateWith(capacityBytes memsys.Bytes, ways int, blockBytes memsys.Bytes, hitLatency memsys.Cycles, busCfg bus.Config, memLatency memsys.Cycles) *PrivateUpdate {
 	p := &PrivateUpdate{
 		ports:      make([]bus.Port, topo.NumCores),
 		bus:        bus.New(busCfg),
@@ -102,7 +102,7 @@ func (p *PrivateUpdate) IsCommunication(core int, addr memsys.Addr) bool {
 	return len(others) > 0
 }
 
-func (p *PrivateUpdate) blockBytes() int { return p.caches[0].Geometry().BlockBytes }
+func (p *PrivateUpdate) blockBytes() memsys.Bytes { return p.caches[0].Geometry().BlockBytes }
 
 // copies returns the cores (other than core) holding addr, and whether
 // any copy is dirty.
@@ -156,12 +156,12 @@ func (p *PrivateUpdate) update(addr memsys.Addr, others []int) {
 }
 
 // Access implements memsys.L2.
-func (p *PrivateUpdate) Access(now uint64, core int, addr memsys.Addr, write bool) memsys.Result {
+func (p *PrivateUpdate) Access(now memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Result {
 	addr = addr.BlockAddr(p.blockBytes())
 	arr := p.caches[core]
 	start := p.ports[core].Acquire(now, p.hitLatency)
-	lat := int(start-now) + p.hitLatency
-	t := now + uint64(lat)
+	lat := start.Sub(now) + p.hitLatency
+	t := now.Add(lat)
 
 	if l := arr.Probe(addr); l != nil {
 		arr.Touch(l)
@@ -172,7 +172,7 @@ func (p *PrivateUpdate) Access(now uint64, core int, addr memsys.Addr, write boo
 				// The update goes through the bus on every write —
 				// the overhead the paper charges this protocol with.
 				vis := p.bus.Transact(t, bus.BusUpg)
-				lat += int(vis - t)
+				lat += vis.Sub(t)
 				p.update(addr, others)
 			}
 			l.Data.dirty = true
@@ -193,11 +193,11 @@ func (p *PrivateUpdate) Access(now uint64, core int, addr memsys.Addr, write boo
 	}
 	vis := p.bus.Transact(t, bus.BusRd)
 	p.stats.BusTransactions.Inc(memsys.LabelBusRd)
-	lat += int(vis - t)
-	t2 := now + uint64(lat)
+	lat += vis.Sub(t)
+	t2 := now.Add(lat)
 	if len(others) > 0 {
 		remStart := p.ports[others[0]].Acquire(t2, p.hitLatency)
-		lat += int(remStart-t2) + p.hitLatency
+		lat += remStart.Sub(t2) + p.hitLatency
 	} else {
 		p.stats.OffChipMisses++
 		lat += p.memLatency

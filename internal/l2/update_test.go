@@ -69,7 +69,7 @@ func TestUpdateKeepsMultipleCopies(t *testing.T) {
 	p := smallUpdate()
 	a := memsys.Addr(0x1000)
 	for c := 0; c < 4; c++ {
-		p.Access(uint64(c*100), c, a, false)
+		p.Access(memsys.Cycle(c*100), c, a, false)
 	}
 	p.Access(500, 0, a, true)
 	copies := 0
@@ -102,7 +102,7 @@ func TestUpdateIsCommunicationHook(t *testing.T) {
 func TestUpdateRandomInvariants(t *testing.T) {
 	p := smallUpdate()
 	r := rng.New(31)
-	now := uint64(0)
+	now := memsys.Cycle(0)
 	for i := 0; i < 30000; i++ {
 		coreID := r.Intn(4)
 		var addr memsys.Addr
@@ -112,7 +112,7 @@ func TestUpdateRandomInvariants(t *testing.T) {
 			addr = memsys.Addr(0x80000 + r.Intn(16)*64)
 		}
 		p.Access(now, coreID, addr, r.Bool(0.3))
-		now += uint64(r.Intn(20) + 1)
+		now += memsys.Cycle(r.Intn(20) + 1)
 		if i%5000 == 0 {
 			p.CheckInvariants()
 		}
@@ -128,7 +128,7 @@ func TestUpdateRandomInvariants(t *testing.T) {
 // removes RWS misses but pays a bus transaction on every shared write.
 func TestUpdateEliminatesRWSMissesAtACost(t *testing.T) {
 	drive := func(l2 memsys.L2) (rws uint64, busTraffic uint64) {
-		now := uint64(0)
+		now := memsys.Cycle(0)
 		a := memsys.Addr(0x3000)
 		for i := 0; i < 200; i++ {
 			l2.Access(now, 0, a, true)

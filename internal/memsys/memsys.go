@@ -14,7 +14,7 @@ import (
 type Addr uint64
 
 // BlockAddr returns the address truncated to a block boundary.
-func (a Addr) BlockAddr(blockBytes int) Addr {
+func (a Addr) BlockAddr(blockBytes Bytes) Addr {
 	return a &^ Addr(blockBytes-1)
 }
 
@@ -70,7 +70,7 @@ type Result struct {
 	// Latency is the total cycles the L2 and everything below it
 	// (bus, other caches, memory) added to this access, measured from
 	// the cycle the request reached the L2.
-	Latency int
+	Latency Cycles
 	// Category is the paper's miss-taxonomy classification.
 	Category Category
 	// DGroup is the data d-group that supplied a hit in a
@@ -88,7 +88,7 @@ type L2 interface {
 	// Access performs a data reference for core at absolute cycle now
 	// and returns its outcome. Implementations account for bus and
 	// port contention internally using now.
-	Access(now uint64, core int, addr Addr, write bool) Result
+	Access(now Cycle, core int, addr Addr, write bool) Result
 	// Name identifies the design in experiment output.
 	Name() string
 	// Stats exposes the accumulated measurements.

@@ -9,7 +9,7 @@ import (
 func TestBlockAddr(t *testing.T) {
 	cases := []struct {
 		addr  Addr
-		block int
+		block Bytes
 		want  Addr
 	}{
 		{0, 128, 0},

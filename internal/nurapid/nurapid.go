@@ -56,17 +56,17 @@ func (p PromotionPolicy) String() string {
 
 // DGroupConfig sizes one distance group.
 type DGroupConfig struct {
-	Frames  int // number of block frames
-	Latency int // uniform access latency in cycles
+	Frames  int           // number of block frames
+	Latency memsys.Cycles // uniform access latency in cycles
 }
 
 // Config describes a NuRAPID cache.
 type Config struct {
 	Sets       int
 	Ways       int
-	BlockBytes int
-	TagLatency int
-	MemLatency int
+	BlockBytes memsys.Bytes
+	TagLatency memsys.Cycles
+	MemLatency memsys.Cycles
 	DGroups    []DGroupConfig
 	Promotion  PromotionPolicy
 	Seed       uint64
@@ -113,7 +113,7 @@ type frame struct {
 }
 
 type dgroup struct {
-	latency int
+	latency memsys.Cycles
 	frames  []frame
 	free    []int // indices of invalid frames
 	used    int
@@ -175,7 +175,7 @@ func (c *Cache) Stats() Stats { return c.stats }
 // Access performs one reference and returns the total latency in
 // cycles and whether it hit. NuRAPID is a uniprocessor cache: there is
 // no coherence, and writes behave like reads for placement purposes.
-func (c *Cache) Access(addr memsys.Addr) (latency int, hit bool) {
+func (c *Cache) Access(addr memsys.Addr) (latency memsys.Cycles, hit bool) {
 	addr = addr.BlockAddr(c.cfg.BlockBytes)
 	latency = c.cfg.TagLatency
 

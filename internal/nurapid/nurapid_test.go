@@ -178,15 +178,15 @@ func TestEvictionOnSetConflict(t *testing.T) {
 	cfg := tinyConfig(NextFastest)
 	c := New(cfg)
 	// 5 blocks mapping to set 0 in a 4-way cache: stride = sets*block.
-	stride := cfg.Sets * cfg.BlockBytes
+	stride := cfg.BlockBytes.Times(cfg.Sets)
 	for i := 0; i < 5; i++ {
-		c.Access(memsys.Addr(i * stride))
+		c.Access(memsys.Addr(stride.Times(i)))
 	}
 	if c.DGroupOf(0) != -1 {
 		t.Error("LRU conflict victim still present")
 	}
 	for i := 1; i < 5; i++ {
-		if c.DGroupOf(memsys.Addr(i*stride)) == -1 {
+		if c.DGroupOf(memsys.Addr(stride.Times(i))) == -1 {
 			t.Errorf("recent block %d evicted", i)
 		}
 	}

@@ -187,6 +187,7 @@ func DefaultAnalyzers() []*Analyzer {
 		NewInvariantCoverage(DefaultCoverageTargets),
 		NewConfigValidate(),
 		NewEnumSwitch(),
+		NewUnitCheck(),
 	}
 }
 

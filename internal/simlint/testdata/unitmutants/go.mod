@@ -1,0 +1,3 @@
+module unitmutants.example/m
+
+go 1.22

@@ -1,0 +1,26 @@
+// Package sim carries two seeded unit-confusion mutants — the two
+// bug shapes the dimensional types alone cannot reject because both
+// compile clean. unitcheck must flag both; the locking test in
+// internal/simlint pins the exact rules and lines.
+package sim
+
+import "unitmutants.example/m/units"
+
+// tagPS is a physical delay the timing model produced.
+var tagPS = units.Picoseconds(800)
+
+// MUTANT 1 (ps-as-cycles swap): the picosecond value is laundered into
+// a cycle count with a raw conversion instead of units.ToCycles,
+// silently treating 800 ps as 800 cycles — a 160x latency error that
+// still compiles.
+func TagLatency() units.Cycles {
+	return units.Cycles(tagPS)
+}
+
+// MUTANT 2 (timestamp+timestamp): the port-free time and the request
+// time are both absolute timestamps; adding them compiles (same type)
+// but the sum is a meaningless point far in the future. The fix is
+// release.Sub(now) or now.Add(span).
+func NextFree(now, release units.Cycle) units.Cycle {
+	return now + release
+}

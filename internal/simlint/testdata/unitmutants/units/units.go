@@ -1,0 +1,38 @@
+// Package units mirrors the repository's memsys/cacti unit split in
+// miniature so the seeded mutants in ../sim exercise unitcheck exactly
+// the way a real regression would.
+package units
+
+// Cycle is an absolute simulated timestamp.
+//
+// unitcheck:unit timestamp
+type Cycle uint64
+
+// Cycles is a duration in clock cycles.
+//
+// unitcheck:unit duration
+type Cycles int64
+
+// Picoseconds is a duration in the analytical timing model's scale.
+//
+// unitcheck:unit duration
+type Picoseconds float64
+
+// CyclePS is the clock period at 5 GHz.
+const CyclePS Picoseconds = 200
+
+// Add returns the timestamp d cycles after t.
+func (t Cycle) Add(d Cycles) Cycle { return t + Cycle(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Cycle) Sub(u Cycle) Cycles { return Cycles(t) - Cycles(u) }
+
+// ToCycles converts a physical delay to whole cycles, rounding up with
+// a one-cycle floor — the only legal ps→cycle crossing.
+func ToCycles(ps Picoseconds) Cycles {
+	c := Cycles((ps + CyclePS - 1) / CyclePS)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}

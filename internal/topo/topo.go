@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"cmpnurapid/internal/cacti"
+	"cmpnurapid/internal/memsys"
 )
 
 // NumCores and NumDGroups fix the paper's 4-core, 4-d-group floorplan.
@@ -47,18 +48,18 @@ func Distance(core, dgroup int) int {
 // diagonal component rather than routing twice around a neighbour.
 // Calibrated with the cacti wire model against Table 1 (20- and
 // 33-cycle d-group latencies) and the 32-cycle bus.
-var distanceMM = [3]float64{0, 7, 13.5}
+var distanceMM = [3]cacti.Millimeters{0, 7, 13.5}
 
 // CentralTagMM is the route from a core to a chip-central shared tag
 // array (the uniform-shared baseline), and BusRouteMM the route to the
 // farthest tag array, which the paper uses as the bus latency.
 const (
-	CentralTagMM = 9.5
-	BusRouteMM   = 16
+	CentralTagMM cacti.Millimeters = 9.5
+	BusRouteMM   cacti.Millimeters = 16
 )
 
 // DGroupMM returns the routing distance in mm from core to dgroup.
-func DGroupMM(core, dgroup int) float64 {
+func DGroupMM(core, dgroup int) cacti.Millimeters {
 	return distanceMM[Distance(core, dgroup)]
 }
 
@@ -112,22 +113,22 @@ func NextSlower(core, dgroup int) (int, bool) {
 // Latencies collects every derived Table 1 number, in cycles.
 type Latencies struct {
 	// Uniform-shared 8 MB 32-way baseline (timed as 8-way 1-port).
-	SharedTag   int
-	SharedData  int
-	SharedTotal int
+	SharedTag   memsys.Cycles
+	SharedData  memsys.Cycles
+	SharedTotal memsys.Cycles
 
 	// Private 2 MB 8-way per-core caches.
-	PrivateTag   int
-	PrivateData  int
-	PrivateTotal int
+	PrivateTag   memsys.Cycles
+	PrivateData  memsys.Cycles
+	PrivateTotal memsys.Cycles
 
 	// CMP-NuRAPID: doubled private tag with pointers, plus per-core
 	// per-d-group data latencies.
-	NuRAPIDTag int
-	DGroupData [NumCores][NumDGroups]int
+	NuRAPIDTag memsys.Cycles
+	DGroupData [NumCores][NumDGroups]memsys.Cycles
 
 	// Pipelined split-transaction bus.
-	Bus int
+	Bus memsys.Cycles
 }
 
 // Paper §4.2 cache geometry.
@@ -145,16 +146,16 @@ const (
 // capacity (the cache-size sensitivity sweep). The floorplan distances
 // scale with the square root of the bank area: smaller banks sit
 // closer together.
-func DeriveWith(dgroupBytes int) Latencies {
+func DeriveWith(dgroupBytes memsys.Bytes) Latencies {
 	scale := sqrtRatio(dgroupBytes, DGroupBytes)
 	var l Latencies
 
-	totalBytes := dgroupBytes * NumDGroups
+	totalBytes := dgroupBytes.Times(NumDGroups)
 	sharedTag := cacti.TagGeometry{
 		CacheBytes: totalBytes, BlockBytes: BlockBytes, Assoc: SharedAssoc,
 	}
-	l.SharedTag = cacti.TagCycles(sharedTag, CentralTagMM*scale)
-	l.SharedData = cacti.DataBankCycles(dgroupBytes, TimedAssoc, distanceMM[2]*scale)
+	l.SharedTag = cacti.TagCycles(sharedTag, CentralTagMM.Scale(scale))
+	l.SharedData = cacti.DataBankCycles(dgroupBytes, TimedAssoc, distanceMM[2].Scale(scale))
 	l.SharedTotal = l.SharedTag + l.SharedData
 
 	privTag := cacti.TagGeometry{
@@ -171,14 +172,14 @@ func DeriveWith(dgroupBytes int) Latencies {
 	l.NuRAPIDTag = cacti.TagCycles(nuTag, 0)
 	for c := 0; c < NumCores; c++ {
 		for g := 0; g < NumDGroups; g++ {
-			l.DGroupData[c][g] = cacti.DataBankCycles(dgroupBytes, PrivateAssoc, DGroupMM(c, g)*scale)
+			l.DGroupData[c][g] = cacti.DataBankCycles(dgroupBytes, PrivateAssoc, DGroupMM(c, g).Scale(scale))
 		}
 	}
-	l.Bus = cacti.BusCycles(BusRouteMM * scale)
+	l.Bus = cacti.BusCycles(BusRouteMM.Scale(scale))
 	return l
 }
 
-func sqrtRatio(a, b int) float64 {
+func sqrtRatio(a, b memsys.Bytes) float64 {
 	return math.Sqrt(float64(a) / float64(b))
 }
 

@@ -1,6 +1,10 @@
 package topo
 
-import "testing"
+import (
+	"testing"
+
+	"cmpnurapid/internal/memsys"
+)
 
 func TestDistanceSymmetricStructure(t *testing.T) {
 	// Each core is adjacent to its own d-group, one pitch from two
@@ -136,7 +140,7 @@ func TestDeriveReproducesTable1(t *testing.T) {
 	// preference order (Table 1 lists P0's view: 6, 20, 20, 33; the
 	// paper notes results are symmetric for the other cores).
 	for c := 0; c < NumCores; c++ {
-		want := [NumDGroups]int{6, 20, 20, 33}
+		want := [NumDGroups]memsys.Cycles{6, 20, 20, 33}
 		for r := 0; r < NumDGroups; r++ {
 			g := Preference[c][r]
 			if l.DGroupData[c][g] != want[r] {
