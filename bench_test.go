@@ -137,7 +137,7 @@ func evaluationBench(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
 		e := experiments.NewEval(benchRC())
 		cells := experiments.Plan(sel, e)
-		experiments.ExecuteCells(cells, workers, nil)
+		experiments.ExecuteCells(cells, workers, false, nil)
 		if e.Figure10().NumRows() == 0 {
 			b.Fatal("empty figure")
 		}

@@ -115,3 +115,83 @@ func TestCSVFormat(t *testing.T) {
 		t.Errorf("csv output suspicious:\n%s", stdout)
 	}
 }
+
+// TestNegativeMaxCyclesIsUsageError: flag validation failures are
+// usage errors (exit 2), distinct from cell failures (exit 1).
+func TestNegativeMaxCyclesIsUsageError(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "-max-cycles", "-1", "-exp", "table1")
+	if code != 2 {
+		t.Fatalf("-max-cycles -1 exited %d, want 2", code)
+	}
+	if stdout != "" {
+		t.Errorf("usage error wrote to stdout: %q", stdout)
+	}
+	if !strings.Contains(stderr, "max-cycles") {
+		t.Errorf("stderr does not name the bad flag: %q", stderr)
+	}
+}
+
+// TestCellFailureStillRendersOthers is the graceful-degradation
+// contract: a tiny -max-cycles ceiling fails every fig7 simulation,
+// but table1 (a static table with no cells) must still render, the
+// failed experiment must show an ERR line plus a failure report on
+// stdout, the stacks must land on stderr, and the exit code must be 1.
+func TestCellFailureStillRendersOthers(t *testing.T) {
+	stdout, stderr, code := runCLI(t,
+		"-exp", "table1,fig7", "-warmup", "500", "-instr", "500",
+		"-max-cycles", "500", "-quiet")
+	if code != 1 {
+		t.Fatalf("run with failing cells exited %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "Table 1") {
+		t.Errorf("healthy table1 did not render:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "ERR fig7:") {
+		t.Errorf("failed experiment missing its ERR line:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "Figure 7") {
+		t.Error("failed fig7 rendered a table anyway")
+	}
+	if !strings.Contains(stdout, "FAILURE REPORT:") ||
+		!strings.Contains(stdout, "simguard: cycle limit exceeded") {
+		t.Errorf("failure report missing or unstructured:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "explicit MaxCycles") {
+		t.Errorf("diagnostic does not attribute the explicit ceiling:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "--- stack for ") ||
+		!strings.Contains(stderr, "cmpsim") {
+		t.Errorf("stacks missing from stderr:\n%s", stderr)
+	}
+}
+
+// TestFailFastAbortsBeforeRendering: -failfast restores the old
+// abort-on-first-failure behaviour — no tables render at all.
+func TestFailFastAbortsBeforeRendering(t *testing.T) {
+	stdout, _, code := runCLI(t,
+		"-exp", "table1,fig7", "-warmup", "500", "-instr", "500",
+		"-max-cycles", "500", "-failfast", "-quiet")
+	if code != 1 {
+		t.Fatalf("failfast run exited %d, want 1", code)
+	}
+	if strings.Contains(stdout, "Table 1") {
+		t.Errorf("failfast rendered tables after a failure:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "FAILURE REPORT:") {
+		t.Errorf("failfast run missing failure report:\n%s", stdout)
+	}
+}
+
+// TestMaxCyclesHeadroomIsHarmless: a generous explicit ceiling leaves
+// a healthy run untouched — same bytes as no ceiling at all.
+func TestMaxCyclesHeadroomIsHarmless(t *testing.T) {
+	args := []string{"-exp", "table1", "-quiet"}
+	plain, _, c1 := runCLI(t, args...)
+	capped, _, c2 := runCLI(t, append(args, "-max-cycles", "1000000000")...)
+	if c1 != 0 || c2 != 0 {
+		t.Fatalf("exit codes %d, %d", c1, c2)
+	}
+	if plain != capped {
+		t.Error("a non-binding -max-cycles changed the output")
+	}
+}

@@ -10,6 +10,7 @@
 //	configvalidate  Config literals in cmd/ and examples/ are validated
 //	enumswitch      switches over internal int8 enums are exhaustive or panic
 //	unitcheck       simulator quantities flow through dimensional unit types
+//	recovercheck    recover() only inside the scheduler's designated recovery helper
 //
 // Usage:
 //

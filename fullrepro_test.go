@@ -27,7 +27,7 @@ func TestFullReproduction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	experiments.ExecuteCells(experiments.Plan(sel, e), experiments.DefaultParallelism(), nil)
+	experiments.ExecuteCells(experiments.Plan(sel, e), experiments.DefaultParallelism(), false, nil)
 
 	// Figure 10: CMP-NuRAPID beats shared and private; the fraction of
 	// ideal's gain it captures matches the paper's 0.76 within 0.1.

@@ -53,6 +53,13 @@ type Config struct {
 	// SlotCycles is the issue interval of the pipelined bus: a new
 	// transaction can start every SlotCycles.
 	SlotCycles memsys.Cycles
+	// GrantJitter, when non-nil, returns an extra arbitration delay
+	// applied to each transaction before its slot is granted. It is a
+	// fault-injection hook (internal/simguard): chaos runs perturb bus
+	// arbitration deterministically from a seeded source, and a nil
+	// hook (the default everywhere outside chaos tests) leaves timing
+	// bit-identical to a bus without the hook.
+	GrantJitter func(now memsys.Cycle, kind Kind) memsys.Cycles
 }
 
 // DefaultConfig matches the paper's Table 1 bus.
@@ -83,6 +90,12 @@ func New(cfg Config) *Bus {
 // included.
 func (b *Bus) Transact(now memsys.Cycle, kind Kind) (visibleAt memsys.Cycle) {
 	grant := now
+	if b.cfg.GrantJitter != nil {
+		if j := b.cfg.GrantJitter(now, kind); j > 0 {
+			b.waitCycles += j
+			grant = grant.Add(j)
+		}
+	}
 	if b.nextFree > grant {
 		b.waitCycles += b.nextFree.Sub(grant)
 		grant = b.nextFree
@@ -90,6 +103,17 @@ func (b *Bus) Transact(now memsys.Cycle, kind Kind) (visibleAt memsys.Cycle) {
 	b.nextFree = grant.Add(b.cfg.SlotCycles)
 	b.counts[kind]++
 	return grant.Add(b.cfg.Latency)
+}
+
+// Backlog reports how far the arbitration queue extends past now: the
+// delay a transaction issued at now would wait for a slot. It is a
+// diagnostic probe (forward-progress stall reports include it) and
+// does not reserve anything.
+func (b *Bus) Backlog(now memsys.Cycle) memsys.Cycles {
+	if b.nextFree <= now {
+		return 0
+	}
+	return b.nextFree.Sub(now)
 }
 
 // Latency returns the configured end-to-end latency.

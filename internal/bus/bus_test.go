@@ -124,3 +124,54 @@ func TestPortZeroValueUsable(t *testing.T) {
 		t.Errorf("zero-value port first acquire = %d, want 0", got)
 	}
 }
+
+func TestGrantJitterDelaysGrant(t *testing.T) {
+	b := New(Config{Latency: 32, SlotCycles: 4,
+		GrantJitter: func(now memsys.Cycle, kind Kind) memsys.Cycles { return 10 }})
+	if got := b.Transact(0, BusRd); got != 42 {
+		t.Errorf("jittered transaction visible at %d, want 42 (10 jitter + 32 latency)", got)
+	}
+	if b.WaitCycles() != 10 {
+		t.Errorf("WaitCycles = %d, want 10 (jitter counts as arbitration wait)", b.WaitCycles())
+	}
+}
+
+func TestGrantJitterNilIsBitIdentical(t *testing.T) {
+	// The hook's zero value must leave the bus exactly as before the
+	// hook existed: same grants, same waits, for the same schedule.
+	plain := New(Config{Latency: 32, SlotCycles: 4})
+	hooked := New(Config{Latency: 32, SlotCycles: 4,
+		GrantJitter: func(now memsys.Cycle, kind Kind) memsys.Cycles { return 0 }})
+	for i := 0; i < 50; i++ {
+		now := memsys.Cycle(0).Add(memsys.CyclesOf(i * 3))
+		kind := Kind(i % int(numKinds))
+		if a, b := plain.Transact(now, kind), hooked.Transact(now, kind); a != b {
+			t.Fatalf("step %d: plain %d != zero-jitter %d", i, a, b)
+		}
+	}
+	if plain.WaitCycles() != hooked.WaitCycles() {
+		t.Errorf("wait cycles diverge: %d vs %d", plain.WaitCycles(), hooked.WaitCycles())
+	}
+}
+
+func TestBacklog(t *testing.T) {
+	b := New(Config{Latency: 32, SlotCycles: 4})
+	if got := b.Backlog(0); got != 0 {
+		t.Errorf("idle backlog = %d, want 0", got)
+	}
+	b.Transact(0, BusRd) // occupies the slot until cycle 4
+	if got := b.Backlog(0); got != 4 {
+		t.Errorf("backlog right after issue = %d, want 4", got)
+	}
+	if got := b.Backlog(2); got != 2 {
+		t.Errorf("backlog at cycle 2 = %d, want 2", got)
+	}
+	if got := b.Backlog(4); got != 0 {
+		t.Errorf("backlog at slot end = %d, want 0", got)
+	}
+	// Probing must not reserve: the next transaction still starts at
+	// its natural grant.
+	if got := b.Transact(4, BusRd); got != 36 {
+		t.Errorf("transaction after probes visible at %d, want 36", got)
+	}
+}

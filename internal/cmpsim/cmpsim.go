@@ -19,6 +19,7 @@ import (
 	"cmpnurapid/internal/cache"
 	"cmpnurapid/internal/cacti"
 	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/simguard"
 	"cmpnurapid/internal/topo"
 )
 
@@ -48,13 +49,32 @@ type CommunicationProber interface {
 	IsCommunication(core int, addr memsys.Addr) bool
 }
 
-// Config sets the per-core L1 parameters (paper §4.1 defaults).
+// Config sets the per-core L1 parameters (paper §4.1 defaults) and the
+// robustness envelope every run executes under.
 type Config struct {
 	Cores     int
 	L1Bytes   memsys.Bytes
 	L1Ways    int
 	L1Block   memsys.Bytes
 	L1Latency memsys.Cycles
+
+	// MaxCycles is a hard ceiling on the global clock: any phase whose
+	// laggard core passes it aborts with a *simguard.CycleLimitExceeded.
+	// 0 (the default) derives a generous per-phase ceiling from the
+	// phase's instruction budget, so even a watchdog bug cannot hang a
+	// run — see docs/ROBUSTNESS.md.
+	MaxCycles memsys.Cycles
+
+	// StallWindow is the forward-progress watchdog window: if no core
+	// retires an instruction for this many cycles (or scheduler steps),
+	// the run aborts with a *simguard.ProgressStall. 0 selects
+	// simguard.DefaultStallWindow.
+	StallWindow memsys.Cycles
+
+	// ExtraLatency, when non-nil, adds cycles to every L2 access the
+	// cores observe. It is simguard's latency fault-injection hook
+	// (chaos runs only; nil leaves timing bit-identical).
+	ExtraLatency func(now memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Cycles
 }
 
 // DefaultConfig matches the paper: 64 KB 2-way split I/D, 64 B blocks,
@@ -95,6 +115,14 @@ type coreState struct {
 	L1DHits, L1DMisses uint64
 	L1IHits, L1IMisses uint64
 	Writethroughs      uint64
+
+	// last* record the core's most recent memory reference. With one
+	// outstanding miss per core this is the reference a stalled core is
+	// stuck behind; stall diagnostics report it.
+	lastAddr     memsys.Addr
+	lastWrite    bool
+	lastInstr    bool
+	lastMemValid bool
 }
 
 // System couples cores, L1s and an L2 design.
@@ -120,6 +148,12 @@ func (cfg Config) Validate() {
 	}
 	if cfg.L1Bytes <= 0 || cfg.L1Ways <= 0 || cfg.L1Block <= 0 || cfg.L1Latency <= 0 {
 		panic("cmpsim: L1 geometry and latency must be positive")
+	}
+	if cfg.MaxCycles < 0 {
+		panic("cmpsim: negative MaxCycles (0 derives a ceiling from the instruction budget)")
+	}
+	if cfg.StallWindow < 0 {
+		panic("cmpsim: negative StallWindow (0 selects the default window)")
 	}
 }
 
@@ -180,6 +214,11 @@ func (s *System) invalidateL1(core int, addr memsys.Addr) {
 // copy will then be dropped).
 func (s *System) l2Access(now memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Result {
 	res := s.l2.Access(now, core, addr, write)
+	if s.cfg.ExtraLatency != nil {
+		if extra := s.cfg.ExtraLatency(now, core, addr, write); extra > 0 {
+			res.Latency += extra
+		}
+	}
 	if s.directory {
 		for o := 0; o < s.cfg.Cores; o++ {
 			if o == core {
@@ -272,20 +311,24 @@ func (s *System) access(core int, addr memsys.Addr, write, instr bool) memsys.Cy
 	return lat + res.Latency
 }
 
-// step executes one op on core.
-func (s *System) step(core int) {
+// step executes one op on core and returns how many instructions it
+// retired (the forward-progress watchdog's observable).
+func (s *System) step(core int) (retired uint64) {
 	op := s.stream.Next(core)
 	cs := s.cores[core]
 	if op.Compute > 0 {
 		cs.cycles = cs.cycles.Add(memsys.CyclesOf(op.Compute)) // CPI 1 for non-memory work
 		cs.instructions += uint64(op.Compute)
+		retired += uint64(op.Compute)
 	}
 	if op.NoMem {
-		return
+		return retired
 	}
+	cs.lastAddr, cs.lastWrite, cs.lastInstr, cs.lastMemValid = op.Addr, op.Write, op.Instr, true
 	lat := s.access(core, op.Addr, op.Write, op.Instr)
 	cs.cycles = cs.cycles.Add(lat)
 	cs.instructions++
+	return retired + 1
 }
 
 // Warmup executes at least instrPerCore instructions per core without
@@ -295,7 +338,7 @@ func (s *System) step(core int) {
 // baselines and the L2 statistics are reset so results cover only the
 // measurement window.
 func (s *System) Warmup(instrPerCore int) {
-	s.runUntil(func() bool {
+	s.runUntil(uint64(instrPerCore), func() bool {
 		for _, cs := range s.cores {
 			if cs.instructions < uint64(instrPerCore) {
 				return false
@@ -323,7 +366,7 @@ func (s *System) Warmup(instrPerCore int) {
 // the standard fixed-work CMP methodology: aggregate IPC equals the
 // total quantum divided by the slowest core's time.
 func (s *System) Run(instrPerCore uint64) Results {
-	s.runUntil(func() bool {
+	s.runUntil(instrPerCore, func() bool {
 		all := true
 		for _, cs := range s.cores {
 			if cs.endValid {
@@ -342,6 +385,17 @@ func (s *System) Run(instrPerCore uint64) Results {
 	return s.results()
 }
 
+// derivedCyclesPerInstr is the per-instruction cycle budget used when
+// Config.MaxCycles is 0: far beyond the worst legitimate per-access
+// cost in the modelled hierarchy (L1 + bus + farthest d-group + memory
+// plus contention is well under 10^3 cycles), so the derived ceiling
+// only ever fires on a genuinely runaway simulation.
+const derivedCyclesPerInstr = 4096
+
+// derivedCeilingSlack covers phases whose instruction budget is tiny
+// (Warmup(0), smoke tests) so the derived ceiling never rounds to now.
+const derivedCeilingSlack memsys.Cycles = 1 << 22
+
 // runUntil repeatedly advances the laggard core — the earliest local
 // clock — until done reports completion. Every core keeps executing
 // until the slowest reaches its target (the paper likewise runs all
@@ -349,7 +403,16 @@ func (s *System) Run(instrPerCore uint64) Results {
 // at its own target, because a frozen core's stale resource
 // reservations would charge phantom wait cycles to the cores still
 // running, and its extra instructions are real throughput.
-func (s *System) runUntil(done func() bool) {
+//
+// Two simguard aborts bound the phase (docs/ROBUSTNESS.md): the
+// forward-progress watchdog panics with a *simguard.ProgressStall when
+// a full window passes without any core retiring an instruction, and
+// the cycle ceiling — Config.MaxCycles, or a generous budget derived
+// from instrPerCore when unset — panics with a
+// *simguard.CycleLimitExceeded even if the watchdog itself is broken.
+func (s *System) runUntil(instrPerCore uint64, done func() bool) {
+	limit, derived := s.cycleCeiling(instrPerCore)
+	wd := simguard.NewWatchdog(s.cfg.StallWindow)
 	for !done() {
 		pick := 0
 		for c, cs := range s.cores {
@@ -357,8 +420,65 @@ func (s *System) runUntil(done func() bool) {
 				pick = c
 			}
 		}
-		s.step(pick)
+		now := s.cores[pick].cycles
+		if now > limit {
+			panic(&simguard.CycleLimitExceeded{
+				Limit: limit, Derived: derived, Now: now,
+				Design: s.l2.Name(), Workload: s.stream.Name(),
+				Cores: s.snapshotCores(),
+			})
+		}
+		retired := s.step(pick)
+		if wd.Observe(now, retired) {
+			stall := &simguard.ProgressStall{
+				Window: wd.Window(), Steps: wd.StepsSinceRetire(), Now: now,
+				Design: s.l2.Name(), Workload: s.stream.Name(),
+				Cores:      s.snapshotCores(),
+				BusBacklog: memsys.CyclesOf(-1),
+			}
+			if br, ok := s.l2.(memsys.BusBacklogReporter); ok {
+				stall.BusBacklog = br.BusBacklog(now)
+			}
+			panic(stall)
+		}
 	}
+}
+
+// cycleCeiling resolves the phase's hard clock limit: the explicit
+// MaxCycles when set, else the laggard-relative budget derived from
+// the phase's instruction quantum.
+func (s *System) cycleCeiling(instrPerCore uint64) (limit memsys.Cycle, derived bool) {
+	if s.cfg.MaxCycles > 0 {
+		return limit.Add(s.cfg.MaxCycles), false
+	}
+	for _, cs := range s.cores {
+		if cs.cycles > limit {
+			limit = cs.cycles
+		}
+	}
+	budget := memsys.CyclesOf(derivedCyclesPerInstr).Times(int(instrPerCore)) + derivedCeilingSlack
+	return limit.Add(budget), true
+}
+
+// snapshotCores captures every core's architectural state for a stall
+// or ceiling diagnostic, including the L2's view of the line behind
+// each core's most recent reference when the design can report it.
+func (s *System) snapshotCores() []simguard.CoreSnapshot {
+	prober, _ := s.l2.(memsys.LineStateProber)
+	snaps := make([]simguard.CoreSnapshot, 0, len(s.cores))
+	for i, cs := range s.cores {
+		snap := simguard.CoreSnapshot{
+			Core: i, Cycles: cs.cycles, Instructions: cs.instructions,
+			OutstandingMiss: cs.lastMemValid,
+			Addr:            cs.lastAddr, Write: cs.lastWrite, Instr: cs.lastInstr,
+			LineState: "?",
+		}
+		if prober != nil && cs.lastMemValid {
+			snap.LineState = prober.LineState(i, cs.lastAddr)
+		}
+		snaps = append(snaps, snap)
+	}
+	return snaps
 }
 
 // CoreResult is one core's outcome.

@@ -303,6 +303,19 @@ func (c *Cache) SetL1Invalidate(fn func(core int, addr memsys.Addr)) {
 // inclusion invalidations).
 func (c *Cache) MaintainsL1Coherence() {}
 
+// LineState implements memsys.LineStateProber for stall diagnostics:
+// core's MESIC tag state for addr, or "I" without a tag entry.
+func (c *Cache) LineState(core int, addr memsys.Addr) string {
+	l := c.tags[core].Probe(addr.BlockAddr(c.cfg.BlockBytes))
+	if l == nil {
+		return coherence.Invalid.String()
+	}
+	return l.Data.state.String()
+}
+
+// BusBacklog implements memsys.BusBacklogReporter.
+func (c *Cache) BusBacklog(now memsys.Cycle) memsys.Cycles { return c.bus.Backlog(now) }
+
 // IsCommunication reports whether core's copy of addr is in the MESIC
 // communication state; the simulator uses this to apply §3.2's
 // write-through-L1 rule to C blocks only.

@@ -24,6 +24,10 @@ type RunConfig struct {
 	WarmupInstr  int    // per-core warm-up instructions before the measurement window
 	Instructions uint64 // per-core instructions measured
 	Seed         uint64
+	// MaxCycles is the hard per-phase clock ceiling passed through to
+	// cmpsim.Config.MaxCycles; 0 derives a ceiling from the instruction
+	// budget (see docs/ROBUSTNESS.md).
+	MaxCycles memsys.Cycles
 }
 
 // Validate panics unless the configuration can produce a meaningful
@@ -36,6 +40,9 @@ func (rc RunConfig) Validate() {
 	}
 	if rc.Instructions == 0 {
 		panic("experiments: zero measured instructions")
+	}
+	if rc.MaxCycles < 0 {
+		panic("experiments: negative MaxCycles (0 derives a ceiling from the instruction budget)")
 	}
 }
 
@@ -105,7 +112,9 @@ func NewDesign(d DesignName) memsys.L2 {
 // Run simulates one (design, workload) pair: build the system, warm it
 // up, run the measurement window.
 func Run(d DesignName, w cmpsim.Workload, rc RunConfig) cmpsim.Results {
-	sys := cmpsim.New(cmpsim.DefaultConfig(), NewDesign(d), w)
+	cfg := cmpsim.DefaultConfig()
+	cfg.MaxCycles = rc.MaxCycles
+	sys := cmpsim.New(cfg, NewDesign(d), w)
 	sys.Warmup(rc.WarmupInstr)
 	return sys.Run(rc.Instructions)
 }

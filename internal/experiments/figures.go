@@ -30,10 +30,15 @@ type Eval struct {
 // cacheEntry is one memoized simulation (or derived value). The entry
 // is inserted under Eval.mu, but filled under its own once so that
 // concurrent requesters of *different* keys never serialize on the
-// evaluation-wide lock while a simulation runs.
+// evaluation-wide lock while a simulation runs. A fill that panics
+// poisons the entry (pv/stack) instead of completing it: every later
+// read re-panics with the original value, so a failed cell fails
+// identically no matter which figure reads it or in what order.
 type cacheEntry struct {
-	once sync.Once
-	val  any
+	once  sync.Once
+	val   any
+	pv    any    // the fill's panic value, when it failed
+	stack string // the fill's stack at panic time
 }
 
 // NewEval builds an evaluation context at the given scale.
@@ -58,7 +63,14 @@ func (e *Eval) memo(key string, fill func() any) any {
 		e.cache[key] = ent
 	}
 	e.mu.Unlock()
-	ent.once.Do(func() { ent.val = fill() })
+	ent.once.Do(func() {
+		if f := CapturePanic(key, func() { ent.val = fill() }); f != nil {
+			ent.pv, ent.stack = f.Value, f.Stack
+		}
+	})
+	if ent.pv != nil {
+		panic(cellPanic{value: ent.pv, stack: ent.stack})
+	}
 	return ent.val
 }
 

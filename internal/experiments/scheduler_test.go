@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -135,7 +136,7 @@ func TestExecuteCellsSingleFill(t *testing.T) {
 			})
 		}})
 	}
-	ExecuteCells(cells, 8, nil)
+	ExecuteCells(cells, 8, false, nil)
 	if got := fills.Load(); got != 4 {
 		t.Errorf("filled %d times, want 4 (single-fill broken)", got)
 	}
@@ -149,7 +150,7 @@ func TestExecuteCellsProgress(t *testing.T) {
 		cells = append(cells, Cell{Key: fmt.Sprintf("c%d", i), Run: func() {}})
 	}
 	var dones []int
-	ExecuteCells(cells, 4, func(done, total int, key string, _ time.Duration) {
+	ExecuteCells(cells, 4, false, func(done, total int, key string, _ time.Duration) {
 		dones = append(dones, done)
 		if total != len(cells) {
 			t.Errorf("progress total %d, want %d", total, len(cells))
@@ -184,10 +185,133 @@ func TestSchedulerEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ExecuteCells(Plan(sel, par), 8, nil)
+	ExecuteCells(Plan(sel, par), 8, false, nil)
 	parOut := render(par)
 
 	if seqOut != parOut {
 		t.Errorf("parallel rendering differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqOut, parOut)
+	}
+}
+
+// TestExecuteCellsRecoversPanics: a panicking cell becomes a
+// CellFailure while every other cell still runs to completion.
+func TestExecuteCellsRecoversPanics(t *testing.T) {
+	var ran atomic.Int64
+	cells := []Cell{
+		{Key: "good-0", Run: func() { ran.Add(1) }},
+		{Key: "boom", Run: func() { panic("experiments: injected cell fault") }},
+		{Key: "good-1", Run: func() { ran.Add(1) }},
+		{Key: "good-2", Run: func() { ran.Add(1) }},
+	}
+	failures := ExecuteCells(cells, 2, false, nil)
+	if ran.Load() != 3 {
+		t.Errorf("healthy cells ran %d times, want 3", ran.Load())
+	}
+	if len(failures) != 1 {
+		t.Fatalf("got %d failures, want 1: %+v", len(failures), failures)
+	}
+	f := failures[0]
+	if f.Key != "boom" {
+		t.Errorf("failure key %q, want boom", f.Key)
+	}
+	if f.Diagnostic != "experiments: injected cell fault" {
+		t.Errorf("diagnostic %q", f.Diagnostic)
+	}
+	if !strings.Contains(f.Stack, "scheduler_test") {
+		t.Errorf("stack does not point at the panicking cell:\n%s", f.Stack)
+	}
+}
+
+// TestExecuteCellsFailuresInPlanOrder: failures come back sorted by
+// plan position regardless of completion order.
+func TestExecuteCellsFailuresInPlanOrder(t *testing.T) {
+	var cells []Cell
+	for i := 0; i < 12; i++ {
+		key := fmt.Sprintf("cell-%02d", i)
+		cells = append(cells, Cell{Key: key, Run: func() { panic("experiments: fault in " + key) }})
+	}
+	failures := ExecuteCells(cells, 6, false, nil)
+	if len(failures) != len(cells) {
+		t.Fatalf("got %d failures, want %d", len(failures), len(cells))
+	}
+	for i, f := range failures {
+		if want := fmt.Sprintf("cell-%02d", i); f.Key != want {
+			t.Fatalf("failure %d is %q, want %q (plan order)", i, f.Key, want)
+		}
+	}
+}
+
+// TestExecuteCellsFailFast: with failFast set, no cells are dispatched
+// after the first failure is observed.
+func TestExecuteCellsFailFast(t *testing.T) {
+	var ran atomic.Int64
+	cells := []Cell{
+		{Key: "boom", Run: func() { panic("experiments: first cell fails") }},
+	}
+	for i := 0; i < 32; i++ {
+		cells = append(cells, Cell{Key: fmt.Sprintf("tail-%d", i), Run: func() {
+			ran.Add(1)
+			time.Sleep(time.Millisecond)
+		}})
+	}
+	failures := ExecuteCells(cells, 1, true, nil)
+	if len(failures) == 0 {
+		t.Fatal("failfast run reported no failures")
+	}
+	if failures[0].Key != "boom" {
+		t.Errorf("first failure %q, want boom", failures[0].Key)
+	}
+	// With one worker the failure lands before any tail cell can be
+	// dispatched, so nothing after it may run.
+	if ran.Load() != 0 {
+		t.Errorf("failfast still ran %d cells after the failure", ran.Load())
+	}
+}
+
+// TestMemoPoisoning: a panicking fill poisons the memo — every later
+// read re-panics deterministically with the original value, and
+// CapturePanic unwraps it back to the original diagnostic and stack.
+func TestMemoPoisoning(t *testing.T) {
+	e := NewEval(RunConfig{WarmupInstr: 1000, Instructions: 1000, Seed: 1})
+	var fills atomic.Int64
+	read := func() (failure *CellFailure) {
+		return CapturePanic("poisoned", func() {
+			e.memo("poisoned", func() any {
+				fills.Add(1)
+				panic("experiments: fill exploded")
+			})
+		})
+	}
+	f1 := read()
+	f2 := read()
+	if f1 == nil || f2 == nil {
+		t.Fatal("poisoned memo read did not fail")
+	}
+	if fills.Load() != 1 {
+		t.Errorf("fill ran %d times, want 1 (poison must be cached)", fills.Load())
+	}
+	if f1.Diagnostic != "experiments: fill exploded" || f2.Diagnostic != f1.Diagnostic {
+		t.Errorf("poison diagnostics: %q then %q", f1.Diagnostic, f2.Diagnostic)
+	}
+	if f1.Value != f2.Value {
+		t.Errorf("re-panic value differs: %v vs %v", f1.Value, f2.Value)
+	}
+	if !strings.Contains(f1.Stack, "scheduler_test") {
+		t.Errorf("poisoned stack lost the original fill frame:\n%s", f1.Stack)
+	}
+	if f2.Stack != f1.Stack {
+		t.Error("re-panic did not preserve the original fill stack")
+	}
+}
+
+// TestCapturePanicPassthrough: no panic means no failure, and an
+// error-valued panic is rendered via Error().
+func TestCapturePanicPassthrough(t *testing.T) {
+	if f := CapturePanic("ok", func() {}); f != nil {
+		t.Errorf("clean run reported failure %+v", f)
+	}
+	f := CapturePanic("err", func() { panic(errors.New("experiments: wrapped error")) })
+	if f == nil || f.Diagnostic != "experiments: wrapped error" {
+		t.Errorf("error panic diagnostic: %+v", f)
 	}
 }

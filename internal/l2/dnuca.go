@@ -120,6 +120,15 @@ func (d *DNUCA) BankOf(addr memsys.Addr) int {
 	return -1
 }
 
+// LineState implements memsys.LineStateProber for stall diagnostics:
+// residency plus the bank currently holding the block.
+func (d *DNUCA) LineState(core int, addr memsys.Addr) string {
+	if b := d.BankOf(addr); b >= 0 {
+		return fmt.Sprintf("resident(bank%d)", b)
+	}
+	return "absent"
+}
+
 // Access implements memsys.L2: incremental search of the bankset in
 // the requester's preference order, migration toward the requester on
 // a hit in the less-preferred bank.

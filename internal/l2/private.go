@@ -84,6 +84,14 @@ func (p *Private) StateOf(core int, addr memsys.Addr) coherence.State {
 	return l.Data.state
 }
 
+// LineState implements memsys.LineStateProber for stall diagnostics.
+func (p *Private) LineState(core int, addr memsys.Addr) string {
+	return p.StateOf(core, addr).String()
+}
+
+// BusBacklog implements memsys.BusBacklogReporter.
+func (p *Private) BusBacklog(now memsys.Cycle) memsys.Cycles { return p.bus.Backlog(now) }
+
 func (p *Private) blockBytes() memsys.Bytes { return p.caches[0].Geometry().BlockBytes }
 
 // kill invalidates core's line, recording its lifetime and preserving

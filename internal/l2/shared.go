@@ -68,6 +68,16 @@ func (s *Shared) Stats() *memsys.L2Stats { return s.stats }
 // SetL1Invalidate implements memsys.L1Invalidator.
 func (s *Shared) SetL1Invalidate(fn func(core int, addr memsys.Addr)) { s.l1inv = fn }
 
+// LineState implements memsys.LineStateProber for stall diagnostics:
+// a monolithic shared cache has no per-core coherence state, so it
+// reports whether the block is resident.
+func (s *Shared) LineState(core int, addr memsys.Addr) string {
+	if s.arr.Probe(addr.BlockAddr(s.arr.Geometry().BlockBytes)) != nil {
+		return "resident"
+	}
+	return "absent"
+}
+
 // Access implements memsys.L2. A shared cache has only hits and
 // capacity misses: every on-chip block has exactly one copy that all
 // cores reach at the same latency, so sharing never misses (Figure 5:

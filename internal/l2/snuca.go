@@ -109,6 +109,18 @@ func (s *SNUCA) outerAddr(inner memsys.Addr, bank int) memsys.Addr {
 	return memsys.Addr((block*uint64(len(s.banks)) + uint64(bank)) << bb)
 }
 
+// LineState implements memsys.LineStateProber for stall diagnostics:
+// a shared design has no per-core coherence state, so it reports
+// residency in the owning bank.
+func (s *SNUCA) LineState(core int, addr memsys.Addr) string {
+	addr = addr.BlockAddr(s.banks[0].Geometry().BlockBytes)
+	b := s.bankOf(addr)
+	if s.banks[b].Probe(s.innerAddr(addr)) != nil {
+		return fmt.Sprintf("resident(bank%d)", b)
+	}
+	return fmt.Sprintf("absent(bank%d)", b)
+}
+
 // CheckInvariants verifies SNUCA's single-copy property at the bank
 // level: no bank holds two valid lines for the same block. Static
 // interleaving makes cross-bank duplication impossible by

@@ -88,6 +88,25 @@ func (p *PrivateUpdate) MaintainsL1Coherence() {}
 // Bus exposes the bus for traffic analysis.
 func (p *PrivateUpdate) Bus() *bus.Bus { return p.bus }
 
+// LineState implements memsys.LineStateProber for stall diagnostics.
+func (p *PrivateUpdate) LineState(core int, addr memsys.Addr) string {
+	l := p.caches[core].Probe(addr.BlockAddr(p.blockBytes()))
+	switch {
+	case l == nil:
+		return "I"
+	case l.Data.exclusive && l.Data.dirty:
+		return "M"
+	case l.Data.exclusive:
+		return "E"
+	case l.Data.dirty:
+		return "S(owner)"
+	}
+	return "S"
+}
+
+// BusBacklog implements memsys.BusBacklogReporter.
+func (p *PrivateUpdate) BusBacklog(now memsys.Cycle) memsys.Cycles { return p.bus.Backlog(now) }
+
 // IsCommunication implements cmpsim's write-through hook: update
 // protocols must see *every* store to a shared block at the L2 (each
 // one broadcasts), so shared blocks are write-through in the L1 — the

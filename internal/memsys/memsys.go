@@ -104,6 +104,24 @@ type L1Invalidator interface {
 	SetL1Invalidate(fn func(core int, addr Addr))
 }
 
+// LineStateProber is optionally implemented by L2 designs that can
+// report a human-readable coherence/residency state for core's view of
+// the block containing addr (e.g. "M", "C", "resident"). The simulator
+// uses it to enrich forward-progress stall diagnostics; it must not
+// mutate any state (no LRU touch, no stat count).
+type LineStateProber interface {
+	LineState(core int, addr Addr) string
+}
+
+// BusBacklogReporter is optionally implemented by L2 designs built
+// around a snoopy bus: it reports the arbitration backlog a request
+// issued at now would face. Stall diagnostics include it so a livelock
+// caused by bus saturation is distinguishable from one caused by a
+// protocol bug.
+type BusBacklogReporter interface {
+	BusBacklog(now Cycle) Cycles
+}
+
 // L1Coherent marks L2 designs whose own protocol keeps the L1s
 // coherent across cores (the snoopy designs: private MESI and
 // CMP-NuRAPID's MESIC). For designs without it — the shared caches —

@@ -1,0 +1,133 @@
+package simguard
+
+import (
+	"fmt"
+	"strings"
+
+	"cmpnurapid/internal/memsys"
+)
+
+// This file defines the structured diagnostics the simulator aborts
+// with. They are panic values (the simulator's public API returns
+// Results, and an abort must unwind through arbitrary depth), but
+// structured ones: the experiment scheduler recovers them into
+// CellFailures, and tests assert on their fields instead of matching
+// message strings. Both types carry the `panicmsg:diagnostic` marker —
+// the simlint panicmsg rule accepts panics whose argument is a marked
+// diagnostic type, and TestDiagnosticsCarryPackagePrefix locks the
+// "simguard: " prefix the rule would otherwise have enforced.
+
+// CoreSnapshot is one core's architectural state at abort time.
+type CoreSnapshot struct {
+	Core         int
+	Cycles       memsys.Cycle // the core's local clock
+	Instructions uint64       // instructions retired since construction
+	// OutstandingMiss describes the core's most recent memory
+	// reference — with a single outstanding miss per core this is the
+	// reference the core is stalled behind.
+	OutstandingMiss bool
+	Addr            memsys.Addr
+	Write           bool
+	Instr           bool
+	// LineState is the L2 design's coherence/residency state for Addr
+	// as seen by this core ("M", "C", "resident", ...), or "?" when
+	// the design does not implement memsys.LineStateProber.
+	LineState string
+}
+
+func (c CoreSnapshot) String() string {
+	miss := "no memory reference issued yet"
+	if c.OutstandingMiss {
+		kind := "read"
+		switch {
+		case c.Write:
+			kind = "write"
+		case c.Instr:
+			kind = "ifetch"
+		}
+		miss = fmt.Sprintf("last reference %s %#x (line state %s)", kind, uint64(c.Addr), c.LineState)
+	}
+	return fmt.Sprintf("core %d: cycle %d, %d instr, %s",
+		c.Core, uint64(c.Cycles), c.Instructions, miss)
+}
+
+// ProgressStall is the watchdog's abort diagnostic: no core retired an
+// instruction for a full window. It is thrown as a panic value by
+// cmpsim.System and recovered into a CellFailure by the experiment
+// scheduler.
+//
+// panicmsg:diagnostic
+type ProgressStall struct {
+	// Window is the configured stall window; Steps the scheduler steps
+	// taken since the last retirement when the watchdog fired.
+	Window memsys.Cycles
+	Steps  uint64
+	// Now is the laggard core's clock at abort.
+	Now memsys.Cycle
+	// Design and Workload identify the simulation.
+	Design   string
+	Workload string
+	// Cores is the per-core architectural state.
+	Cores []CoreSnapshot
+	// BusBacklog is the bus arbitration queue depth (cycles a request
+	// issued at Now would wait), or -1 when the design has no bus.
+	BusBacklog memsys.Cycles
+}
+
+// Error implements error. The message carries the package prefix the
+// repository's panic convention requires.
+func (p *ProgressStall) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "simguard: forward-progress stall: no instruction retired for %d steps (window %d cycles) at cycle %d on %s/%s",
+		p.Steps, int64(p.Window), uint64(p.Now), p.Design, p.Workload)
+	for _, c := range p.Cores {
+		b.WriteString("\n  " + c.String())
+	}
+	if p.BusBacklog >= 0 {
+		fmt.Fprintf(&b, "\n  bus arbitration backlog: %d cycles", int64(p.BusBacklog))
+	} else {
+		b.WriteString("\n  bus arbitration backlog: n/a (design has no bus)")
+	}
+	return b.String()
+}
+
+func (p *ProgressStall) String() string { return p.Error() }
+
+// CycleLimitExceeded is the hard-ceiling abort diagnostic: the global
+// clock passed cmpsim.Config.MaxCycles (or the budget derived from the
+// instruction quantum). It exists so that even a watchdog bug cannot
+// hang a run — the ceiling check is a one-line comparison with no
+// state machine to get wrong.
+//
+// panicmsg:diagnostic
+type CycleLimitExceeded struct {
+	// Limit is the ceiling that was crossed; Derived reports whether
+	// it came from the instruction budget rather than an explicit
+	// MaxCycles.
+	Limit   memsys.Cycle
+	Derived bool
+	// Now is the clock value that crossed the ceiling.
+	Now memsys.Cycle
+	// Design and Workload identify the simulation.
+	Design   string
+	Workload string
+	// Cores is the per-core architectural state.
+	Cores []CoreSnapshot
+}
+
+// Error implements error.
+func (c *CycleLimitExceeded) Error() string {
+	src := "explicit MaxCycles"
+	if c.Derived {
+		src = "ceiling derived from instruction budget"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "simguard: cycle limit exceeded: clock %d passed %d (%s) on %s/%s",
+		uint64(c.Now), uint64(c.Limit), src, c.Design, c.Workload)
+	for _, cs := range c.Cores {
+		b.WriteString("\n  " + cs.String())
+	}
+	return b.String()
+}
+
+func (c *CycleLimitExceeded) String() string { return c.Error() }

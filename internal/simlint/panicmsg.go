@@ -2,6 +2,8 @@ package simlint
 
 import (
 	"go/ast"
+	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -11,30 +13,74 @@ var sprintfFuncs = map[string]bool{
 	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
 }
 
+// diagnosticMarker marks a named type as a structured panic
+// diagnostic in its declaration doc comment. Panics whose argument is
+// a marked type (simguard.ProgressStall, simguard.CycleLimitExceeded)
+// are exempt from the constant-message requirement: the type's Error()
+// carries the "pkg: " prefix instead, and the declaring package's
+// tests lock that prefix.
+const diagnosticMarker = "panicmsg:diagnostic"
+
 // NewPanicMsg builds the panic-message-convention rule: every panic in
 // an internal package must carry a constant message starting with
 // "<pkg>: " (e.g. "bus: non-positive latency"), so an invariant
 // violation deep inside a 30-minute reproduction run is immediately
-// attributable to the subsystem that detected it.
+// attributable to the subsystem that detected it. The one exception is
+// a structured diagnostic: a panic whose argument is a named type
+// whose declaration doc carries the panicmsg:diagnostic marker.
 func NewPanicMsg() *Analyzer {
 	return &Analyzer{
 		Name: "panicmsg",
-		Doc:  `panics in internal packages must carry a "pkg: " message prefix`,
+		Doc:  `panics in internal packages must carry a "pkg: " message prefix or throw a marked diagnostic type`,
 		Run: func(prog *Program, report Reporter) {
+			marked := diagnosticTypes(prog)
 			for _, pkg := range prog.Packages {
 				if !pkg.UnderRel("internal") {
 					continue
 				}
 				prefix := pkg.Name + ": "
 				for _, file := range pkg.Files {
-					checkPanicFile(pkg, file, prefix, report)
+					checkPanicFile(pkg, file, prefix, marked, report)
 				}
 			}
 		},
 	}
 }
 
-func checkPanicFile(pkg *Package, file *ast.File, prefix string, report Reporter) {
+// diagnosticTypes collects every named type in the module whose
+// declaration doc contains the panicmsg:diagnostic marker, keyed both
+// by qualified path ("pkg/path.Type", for type-informed matching) and
+// bare name (the syntactic fallback when type info is unavailable).
+func diagnosticTypes(prog *Program) map[string]bool {
+	marked := map[string]bool{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = gd.Doc
+					}
+					if doc != nil && strings.Contains(doc.Text(), diagnosticMarker) {
+						marked[pkg.Path+"."+ts.Name.Name] = true
+						marked[ts.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return marked
+}
+
+func checkPanicFile(pkg *Package, file *ast.File, prefix string, marked map[string]bool, report Reporter) {
 	ast.Inspect(file, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -50,12 +96,49 @@ func checkPanicFile(pkg *Package, file *ast.File, prefix string, report Reporter
 				return true
 			}
 		}
+		if isDiagnosticArg(pkg, call.Args[0], marked) {
+			return true
+		}
 		if msg, ok := panicMessage(pkg, file, call.Args[0]); !ok || !strings.HasPrefix(msg, prefix) {
 			report(call.Pos(), "panic message must be a constant string starting with %q (got %s)",
 				prefix, describePanicArg(pkg, file, call.Args[0]))
 		}
 		return true
 	})
+}
+
+// isDiagnosticArg reports whether the panic argument's type is a
+// marked diagnostic: by type information when available, else
+// syntactically for the panic(&T{...}) / panic(&pkg.T{...}) shapes.
+func isDiagnosticArg(pkg *Package, arg ast.Expr, marked map[string]bool) bool {
+	if pkg.Info != nil {
+		if tv, ok := pkg.Info.Types[arg]; ok && tv.Type != nil {
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok {
+				obj := n.Obj()
+				if obj.Pkg() != nil {
+					return marked[obj.Pkg().Path()+"."+obj.Name()]
+				}
+			}
+			return false
+		}
+	}
+	e := arg
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = u.X
+	}
+	if cl, ok := e.(*ast.CompositeLit); ok {
+		switch t := cl.Type.(type) {
+		case *ast.Ident:
+			return marked[t.Name]
+		case *ast.SelectorExpr:
+			return marked[t.Sel.Name]
+		}
+	}
+	return false
 }
 
 // panicMessage extracts the constant head of the panic argument: a

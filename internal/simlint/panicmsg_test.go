@@ -47,6 +47,58 @@ func main() { panic("anything goes") }
 	expectDiags(t, diags)
 }
 
+func TestPanicMsgAcceptsMarkedDiagnosticTypes(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/guard/diag.go": `package guard
+
+// ProgressStall is a structured abort diagnostic.
+//
+// panicmsg:diagnostic
+type ProgressStall struct {
+	Now uint64
+}
+
+func (p *ProgressStall) Error() string { return "guard: stall" }
+
+// Plain is NOT marked: panicking with it stays a violation.
+type Plain struct{}
+`,
+		"internal/sim/sim.go": `package sim
+
+import "fix.example/m/internal/guard"
+
+func Abort(now uint64) {
+	panic(&guard.ProgressStall{Now: now})
+}
+`,
+		"internal/sim/bad.go": `package sim
+
+type local struct{}
+
+func Bad() { panic(local{}) }
+`,
+	}, NewPanicMsg())
+	expectDiags(t, diags, `must be a constant string starting with "sim: "`)
+}
+
+func TestPanicMsgMarkedTypeInOwnPackage(t *testing.T) {
+	// The declaring package may throw its own diagnostics too.
+	diags := lintFixture(t, map[string]string{
+		"internal/guard/diag.go": `package guard
+
+// panicmsg:diagnostic
+type LimitExceeded struct{ Limit uint64 }
+
+func Check(now, limit uint64) {
+	if now > limit {
+		panic(&LimitExceeded{Limit: limit})
+	}
+}
+`,
+	}, NewPanicMsg())
+	expectDiags(t, diags)
+}
+
 func TestPanicMsgUsesPackageNameNotDirName(t *testing.T) {
 	diags := lintFixture(t, map[string]string{
 		"internal/l2/private.go": `package l2

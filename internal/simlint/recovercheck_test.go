@@ -1,0 +1,110 @@
+package simlint
+
+import "testing"
+
+func TestRecoverCheckFlagsStrayRecover(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/sim/sim.go": `package sim
+
+func Step() (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	return true
+}
+`,
+	}, NewRecoverCheck(map[string][]string{}))
+	expectDiags(t, diags, "recover() outside the designated recovery helpers")
+}
+
+func TestRecoverCheckAllowsDesignatedHelper(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/experiments/recover.go": `package experiments
+
+func CapturePanic(key string, fn func()) (failed bool) {
+	defer func() {
+		if recover() != nil {
+			failed = true
+		}
+	}()
+	fn()
+	return false
+}
+`,
+	}, NewRecoverCheck(map[string][]string{"internal/experiments": {"CapturePanic"}}))
+	expectDiags(t, diags)
+}
+
+func TestRecoverCheckAllowlistIsPerPackage(t *testing.T) {
+	// The same function name outside the allowlisted package is still a
+	// violation: the allowlist names (package, function) pairs.
+	diags := lintFixture(t, map[string]string{
+		"internal/other/other.go": `package other
+
+func CapturePanic(fn func()) {
+	defer func() { _ = recover() }()
+	fn()
+}
+`,
+	}, NewRecoverCheck(map[string][]string{"internal/experiments": {"CapturePanic"}}))
+	expectDiags(t, diags, "recover() outside the designated recovery helpers")
+}
+
+func TestRecoverCheckMethodsNotExempt(t *testing.T) {
+	// The allowlist names top-level functions; a method of the same
+	// name is not covered.
+	diags := lintFixture(t, map[string]string{
+		"internal/experiments/m.go": `package experiments
+
+type Eval struct{}
+
+func (e *Eval) CapturePanic(fn func()) {
+	defer func() { _ = recover() }()
+	fn()
+}
+`,
+	}, NewRecoverCheck(map[string][]string{"internal/experiments": {"CapturePanic"}}))
+	expectDiags(t, diags, "recover() outside the designated recovery helpers")
+}
+
+func TestRecoverCheckIgnoresTestFilesAndShadows(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		// Tests asserting "this panics" legitimately recover.
+		"internal/sim/sim_test.go": `package sim
+
+import "testing"
+
+func TestPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	panic("sim: boom")
+}
+`,
+		// A local function named recover is not the builtin.
+		"internal/sim/shadow.go": `package sim
+
+func recoverState() int { return 1 }
+
+func recover2() any { return nil }
+
+func Use() int {
+	_ = recover2()
+	return recoverState()
+}
+`,
+	}, NewRecoverCheck(map[string][]string{}))
+	expectDiags(t, diags)
+}
+
+func TestRecoverCheckDefaultAllowlistCoversRepo(t *testing.T) {
+	for _, rel := range []string{"internal/experiments", "internal/protocheck"} {
+		if len(DefaultRecoverAllowed[rel]) == 0 {
+			t.Errorf("DefaultRecoverAllowed missing %s", rel)
+		}
+	}
+}

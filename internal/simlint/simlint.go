@@ -188,6 +188,7 @@ func DefaultAnalyzers() []*Analyzer {
 		NewConfigValidate(),
 		NewEnumSwitch(),
 		NewUnitCheck(),
+		NewRecoverCheck(DefaultRecoverAllowed),
 	}
 }
 

@@ -37,6 +37,25 @@ echo "== experiments quick scale vs golden (unit refactor stays behaviour-identi
 go run ./cmd/experiments -exp table1,fig5 -parallel 4 -warmup 200000 -instr 200000 -quiet > /tmp/quick_check.out
 diff docs/golden/quick_table1_fig5.golden /tmp/quick_check.out
 
+echo "== chaos: fault-injection sweep under race (docs/ROBUSTNESS.md) =="
+go test -race -short -run 'TestChaosSweep|TestControlInjectorIsBitIdentical' ./internal/simguard
+
+echo "== chaos: watchdog catches the seeded livelock mutant =="
+go test -race -run 'TestWatchdogCatchesLivelockMutant|TestWatchdogTripsOnZeroWorkStream' ./internal/simguard ./internal/cmpsim
+
+echo "== chaos: graceful degradation on cell failure =="
+set +e
+go run ./cmd/experiments -exp table1,fig7 -warmup 500 -instr 500 -max-cycles 500 -quiet > /tmp/chaos_smoke.out 2>/dev/null
+chaos_code=$?
+set -e
+if [ "$chaos_code" -ne 1 ]; then
+	echo "expected exit 1 on cell failure, got $chaos_code"
+	exit 1
+fi
+grep -q "Table 1" /tmp/chaos_smoke.out
+grep -q "ERR fig7:" /tmp/chaos_smoke.out
+grep -q "FAILURE REPORT:" /tmp/chaos_smoke.out
+
 echo "== benchmarks (1 iteration each) =="
 go test -run '^$' -bench . -benchtime 1x ./...
 
