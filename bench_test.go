@@ -27,6 +27,7 @@ func benchRC() experiments.RunConfig {
 }
 
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := experiments.Table1()
 		if t.NumRows() == 0 {
@@ -36,14 +37,16 @@ func BenchmarkTable1(b *testing.B) {
 }
 
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.Table2()
 	}
 }
 
 func BenchmarkTable3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		experiments.Table3(42)
+		experiments.Table3(benchRC().Seed)
 	}
 }
 
@@ -51,6 +54,7 @@ func BenchmarkTable3(b *testing.B) {
 // metrics extracted from the final evaluation.
 func figureBench(b *testing.B, gen func(e *experiments.Eval) *stats.Table, metrics func(e *experiments.Eval, b *testing.B)) {
 	b.Helper()
+	b.ReportAllocs()
 	var last *experiments.Eval
 	for i := 0; i < b.N; i++ {
 		e := experiments.NewEval(benchRC())
@@ -130,6 +134,7 @@ func BenchmarkFigure12(b *testing.B) {
 // records the sequential-vs-parallel wall-clock of the evaluation.
 func evaluationBench(b *testing.B, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	sel, err := experiments.Select("all")
 	if err != nil {
 		b.Fatal(err)
@@ -158,6 +163,7 @@ func ablationBenchRC() experiments.RunConfig {
 }
 
 func BenchmarkAblationPromotion(b *testing.B) {
+	b.ReportAllocs()
 	var fastest, next float64
 	for i := 0; i < b.N; i++ {
 		fastest, next = experiments.PromotionSpeedups(ablationBenchRC(), 2) // MIX3: mcf vs small apps
@@ -167,6 +173,7 @@ func BenchmarkAblationPromotion(b *testing.B) {
 }
 
 func BenchmarkAblationTagCapacity(b *testing.B) {
+	b.ReportAllocs()
 	var s [3]float64
 	for i := 0; i < b.N; i++ {
 		s = experiments.TagCapacitySpeedups(ablationBenchRC(), workload.OLTP(42))
@@ -177,6 +184,7 @@ func BenchmarkAblationTagCapacity(b *testing.B) {
 }
 
 func BenchmarkAblationOptimizations(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if t := experiments.AblationOptimizations(benchRC()); t.NumRows() == 0 {
 			b.Fatal("empty")
@@ -185,6 +193,7 @@ func BenchmarkAblationOptimizations(b *testing.B) {
 }
 
 func BenchmarkAblationReplicationTrigger(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if t := experiments.AblationReplicationTrigger(benchRC()); t.NumRows() == 0 {
 			b.Fatal("empty")

@@ -1,0 +1,232 @@
+// Command benchreport reduces `go test -bench` output into the
+// committed performance trajectory (BENCH_quick.json) and diffs a
+// fresh run against it — the measurement half of the hotpath gate
+// (docs/PERF.md).
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem ./... | go run ./cmd/benchreport -write BENCH_quick.json
+//	go test -run '^$' -bench ... -benchmem ./... | go run ./cmd/benchreport -diff BENCH_quick.json
+//
+// -write reduces stdin to the JSON trajectory. -diff reduces stdin the
+// same way and compares it against the committed file: allocs/op and
+// B/op must match exactly (the benchmarks are deterministic and run at
+// fixed -benchtime iteration counts), ns/op may grow by at most the
+// slack factor, and throughput metrics (units ending in /sec) may
+// shrink by at most the same factor. Wall-clock slack is deliberately
+// generous — CI machines vary — while the allocation profile, which
+// does not vary, is held exactly.
+//
+// Exit status: 0 clean, 1 regression (or baseline benchmark missing
+// from the run), 2 usage/parse errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one reduced benchmark result. Metrics maps the unit
+// string go test prints (ns/op, B/op, allocs/op, simcycles/sec, ...)
+// to its value.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_quick.json shape. No timestamps or host info:
+// the file must be byte-stable for identical results, so refreshing it
+// produces an empty git diff when nothing changed.
+type Report struct {
+	Format     int         `json:"format"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)) }
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		write = fs.String("write", "", "reduce stdin and write the trajectory to this file")
+		diff  = fs.String("diff", "", "reduce stdin and diff it against this trajectory file")
+		slack = fs.Float64("slack", 8, "allowed wall-time growth / throughput shrink factor")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*write == "") == (*diff == "") {
+		fmt.Fprintln(stderr, "benchreport: exactly one of -write or -diff is required")
+		return 2
+	}
+	if *slack < 1 {
+		fmt.Fprintln(stderr, "benchreport: -slack must be >= 1")
+		return 2
+	}
+
+	rep, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchreport: %v\n", err)
+		return 2
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchreport: no benchmark lines on stdin")
+		return 2
+	}
+
+	if *write != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "benchreport: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*write, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchreport: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %d benchmarks to %s\n", len(rep.Benchmarks), *write)
+		return 0
+	}
+
+	baseData, err := os.ReadFile(*diff)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchreport: %v\n", err)
+		return 2
+	}
+	var base Report
+	if err := json.Unmarshal(baseData, &base); err != nil {
+		fmt.Fprintf(stderr, "benchreport: %s: %v\n", *diff, err)
+		return 2
+	}
+	if failures := compare(&base, rep, *slack, stdout); failures > 0 {
+		fmt.Fprintf(stdout, "FAIL: %d regression(s) vs %s (refresh with scripts/bench.sh -update if intended)\n", failures, *diff)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok: %d benchmarks within tolerance of %s\n", len(base.Benchmarks), *diff)
+	return 0
+}
+
+// parse reduces `go test -bench` output. Package headers ("pkg: ...")
+// qualify benchmark names with the package's last path element, so the
+// same function name in two packages cannot collide.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Format: 1}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			p := strings.TrimSpace(rest)
+			pkg = p[strings.LastIndex(p, "/")+1:]
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the -GOMAXPROCS suffix so the name is machine-stable.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q", line)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+	return rep, nil
+}
+
+// compare checks every baseline benchmark against the fresh run and
+// returns the number of failures. Benchmarks only in the fresh run are
+// noted but pass (the baseline picks them up on the next -update).
+func compare(base, fresh *Report, slack float64, out io.Writer) int {
+	byName := make(map[string]*Benchmark, len(fresh.Benchmarks))
+	for i := range fresh.Benchmarks {
+		byName[fresh.Benchmarks[i].Name] = &fresh.Benchmarks[i]
+	}
+	failures := 0
+	for _, b := range base.Benchmarks {
+		got, ok := byName[b.Name]
+		if !ok {
+			fmt.Fprintf(out, "FAIL %s: in baseline but missing from this run\n", b.Name)
+			failures++
+			continue
+		}
+		delete(byName, b.Name)
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			want := b.Metrics[unit]
+			have, ok := got.Metrics[unit]
+			if !ok {
+				fmt.Fprintf(out, "FAIL %s: metric %s missing from this run\n", b.Name, unit)
+				failures++
+				continue
+			}
+			switch {
+			case unit == "allocs/op" || unit == "B/op":
+				// Deterministic benchmarks at fixed iteration counts:
+				// the allocation profile must match exactly.
+				if have != want {
+					fmt.Fprintf(out, "FAIL %s: %s = %v, baseline %v (must match exactly)\n", b.Name, unit, have, want)
+					failures++
+				}
+			case strings.HasSuffix(unit, "/sec"):
+				if want > 0 && have < want/slack {
+					fmt.Fprintf(out, "FAIL %s: %s = %.0f, below baseline %.0f / slack %.1f\n", b.Name, unit, have, want, slack)
+					failures++
+				}
+			case unit == "ns/op":
+				if have > want*slack {
+					fmt.Fprintf(out, "FAIL %s: ns/op = %.1f, above baseline %.1f * slack %.1f\n", b.Name, have, want, slack)
+					failures++
+				}
+			}
+		}
+	}
+	extra := make([]string, 0, len(byName))
+	for name := range byName {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(out, "note: %s is not in the baseline yet\n", name)
+	}
+	return failures
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: cmpnurapid/internal/cmpsim
+cpu: Intel(R) Xeon(R) Processor
+BenchmarkSimStep-4   	  100000	        36.17 ns/op	  35495222 simcycles/sec	       0 B/op	       0 allocs/op
+PASS
+ok  	cmpnurapid/internal/cmpsim	0.017s
+pkg: cmpnurapid/internal/core
+BenchmarkHitClosest-4	   10000	       120.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseReducesBenchLines(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	// Sorted by qualified name: cmpsim.SimStep < core.HitClosest.
+	b := rep.Benchmarks[0]
+	if b.Name != "cmpsim.SimStep" || b.Iterations != 100000 {
+		t.Errorf("benchmark 0 = %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 36.17, "simcycles/sec": 35495222, "B/op": 0, "allocs/op": 0,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("%s = %v, want %v", unit, got, want)
+		}
+	}
+	if rep.Benchmarks[1].Name != "core.HitClosest" {
+		t.Errorf("benchmark 1 = %q, want core.HitClosest", rep.Benchmarks[1].Name)
+	}
+}
+
+func TestWriteThenCleanDiff(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_quick.json")
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-write", path}, strings.NewReader(sampleOutput), &stdout, &stderr); code != 0 {
+		t.Fatalf("-write = %d\nstderr:\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("written file is not valid JSON: %v", err)
+	}
+	if rep.Format != 1 || len(rep.Benchmarks) != 2 {
+		t.Fatalf("written report = %+v", rep)
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-diff", path}, strings.NewReader(sampleOutput), &stdout, &stderr); code != 0 {
+		t.Fatalf("identical run diffed dirty: %d\n%s", code, stdout.String())
+	}
+}
+
+// diffAgainst writes base as the baseline and diffs freshOutput into it.
+func diffAgainst(t *testing.T, base Report, freshOutput string) (int, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	code := run([]string{"-diff", path}, strings.NewReader(freshOutput), &stdout, &stderr)
+	return code, stdout.String() + stderr.String()
+}
+
+func baseline(metrics map[string]float64) Report {
+	return Report{Format: 1, Benchmarks: []Benchmark{
+		{Name: "cmpsim.SimStep", Iterations: 100000, Metrics: metrics},
+	}}
+}
+
+const freshLine = `pkg: cmpnurapid/internal/cmpsim
+BenchmarkSimStep-4  100000  36.17 ns/op  35495222 simcycles/sec  0 B/op  0 allocs/op
+`
+
+func TestDiffAllocsAreExact(t *testing.T) {
+	code, out := diffAgainst(t, baseline(map[string]float64{
+		"ns/op": 36, "allocs/op": 1,
+	}), freshLine)
+	// Fresh run has 0 allocs/op vs baseline 1: even an improvement is a
+	// mismatch — the baseline must be refreshed deliberately.
+	if code != 1 || !strings.Contains(out, "allocs/op") {
+		t.Errorf("code = %d, out:\n%s", code, out)
+	}
+}
+
+func TestDiffWallTimeSlack(t *testing.T) {
+	// 36.17 ns/op against a 5 ns/op baseline exceeds 8x slack.
+	code, out := diffAgainst(t, baseline(map[string]float64{"ns/op": 4}), freshLine)
+	if code != 1 || !strings.Contains(out, "ns/op") {
+		t.Errorf("code = %d, out:\n%s", code, out)
+	}
+	// Within slack passes.
+	code, out = diffAgainst(t, baseline(map[string]float64{"ns/op": 30}), freshLine)
+	if code != 0 {
+		t.Errorf("within-slack run failed (%d):\n%s", code, out)
+	}
+}
+
+func TestDiffThroughputSlack(t *testing.T) {
+	// 35.5M simcycles/sec against a 300M baseline is below 1/8.
+	code, out := diffAgainst(t, baseline(map[string]float64{"simcycles/sec": 300_000_000}), freshLine)
+	if code != 1 || !strings.Contains(out, "simcycles/sec") {
+		t.Errorf("code = %d, out:\n%s", code, out)
+	}
+}
+
+func TestDiffMissingBenchmarkFails(t *testing.T) {
+	base := baseline(map[string]float64{"ns/op": 36})
+	base.Benchmarks = append(base.Benchmarks, Benchmark{
+		Name: "core.Gone", Metrics: map[string]float64{"ns/op": 1},
+	})
+	code, out := diffAgainst(t, base, freshLine)
+	if code != 1 || !strings.Contains(out, "core.Gone") {
+		t.Errorf("code = %d, out:\n%s", code, out)
+	}
+}
+
+func TestDiffNewBenchmarkIsNoteOnly(t *testing.T) {
+	code, out := diffAgainst(t, baseline(map[string]float64{"ns/op": 36}),
+		freshLine+"BenchmarkBrandNew-4  10  5 ns/op\n")
+	if code != 0 || !strings.Contains(out, "cmpsim.BrandNew is not in the baseline") {
+		t.Errorf("code = %d, out:\n%s", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{nil, {"-write", "a", "-diff", "b"}, {"-diff", "x", "-slack", "0.5"}} {
+		var stdout, stderr strings.Builder
+		if code := run(args, strings.NewReader(""), &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

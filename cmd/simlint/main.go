@@ -11,6 +11,8 @@
 //	enumswitch      switches over internal int8 enums are exhaustive or panic
 //	unitcheck       simulator quantities flow through dimensional unit types
 //	recovercheck    recover() only inside the scheduler's designated recovery helper
+//	hotpath         functions reachable from hotpath:root entry points are free of
+//	                allocating/indirecting constructs unless audited with hotpath:alloc
 //
 // Usage:
 //

@@ -138,10 +138,69 @@ func TestRulesUnknownNameListsValid(t *testing.T) {
 	}
 	msg := stderr.String()
 	for _, name := range []string{"unitchekc", "determinism", "panicmsg", "floatcmp",
-		"invariantcov", "configvalidate", "enumswitch", "unitcheck"} {
+		"invariantcov", "configvalidate", "enumswitch", "unitcheck", "hotpath"} {
 		if !strings.Contains(msg, name) {
 			t.Errorf("error message missing %q:\n%s", name, msg)
 		}
+	}
+}
+
+// hotpathDirtyModule writes a throwaway module with one hotpath
+// violation (a make inside a hotpath:root tick) and returns its root.
+func hotpathDirtyModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module fix.example/m\n\ngo 1.22\n",
+		"internal/sim/sim.go": `package sim
+
+// hotpath:root
+func Tick() []byte {
+	return make([]byte, 64)
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRulesHotpathBothFormats(t *testing.T) {
+	chdir(t, hotpathDirtyModule(t))
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-rules", "hotpath"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run(-rules hotpath) = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[hotpath]") || !strings.Contains(out, "internal/sim/sim.go:5:") ||
+		!strings.Contains(out, "hot path via sim.Tick") {
+		t.Errorf("text diagnostic malformed:\n%s", out)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-rules", "hotpath", "-format", "json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run(-rules hotpath -format json) = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want one NDJSON line, got %d:\n%s", len(lines), stdout.String())
+	}
+	var d jsonDiag
+	if err := json.Unmarshal([]byte(lines[0]), &d); err != nil {
+		t.Fatalf("line is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if d.File != "internal/sim/sim.go" || d.Line != 5 || d.Pass != "hotpath" ||
+		!strings.Contains(d.Message, "make allocates per call") {
+		t.Errorf("NDJSON diagnostic fields: %+v", d)
 	}
 }
 

@@ -88,6 +88,8 @@ func New(cfg Config) *Bus {
 // returns the cycle at which the transaction is visible to all snoopers
 // (grant + latency). Arbitration delay due to earlier transactions is
 // included.
+//
+// hotpath:root
 func (b *Bus) Transact(now memsys.Cycle, kind Kind) (visibleAt memsys.Cycle) {
 	grant := now
 	if b.cfg.GrantJitter != nil {

@@ -38,6 +38,11 @@ func (g Geometry) Validate() {
 	if g.Ways <= 0 {
 		panic("cache: ways must be positive")
 	}
+	if g.Ways > 64 {
+		// LRUOrder tracks visited ways in a uint64 bitmask so the LRU
+		// scan stays allocation-free on the per-access path.
+		panic(fmt.Sprintf("cache: ways (%d) must be <= 64", g.Ways))
+	}
 }
 
 // GeometryFor computes sets from capacity, associativity and block
@@ -90,6 +95,8 @@ func (a *Array[T]) tagOf(addr memsys.Addr) uint64 {
 // Probe returns the line holding addr, or nil on a miss. It does not
 // update LRU state; pair with Touch on a real access so read-only scans
 // (snoops) do not perturb replacement order.
+//
+// hotpath:root
 func (a *Array[T]) Probe(addr memsys.Addr) *Line[T] {
 	set := a.SetIndex(addr)
 	tag := a.tagOf(addr)
@@ -120,14 +127,16 @@ func (a *Array[T]) Set(set int) []Line[T] {
 func (a *Array[T]) LRUOrder(set int, f func(*Line[T]) bool) {
 	lines := a.Set(set)
 	// Selection-style scan: sets are small (<= 32 ways), so O(ways^2)
-	// is cheaper and simpler than maintaining a list.
+	// is cheaper and simpler than maintaining a list. Visited ways live
+	// in a bitmask — Validate caps ways at 64 — so the scan is
+	// allocation-free on the per-access path.
 	const done = ^uint64(0)
-	visited := make([]bool, len(lines))
+	var visited uint64
 	for {
 		best := -1
 		var bestUse uint64 = done
 		for i := range lines {
-			if visited[i] || !lines[i].Valid {
+			if visited&(1<<uint(i)) != 0 || !lines[i].Valid {
 				continue
 			}
 			if lines[i].lastUse < bestUse {
@@ -138,7 +147,7 @@ func (a *Array[T]) LRUOrder(set int, f func(*Line[T]) bool) {
 		if best == -1 {
 			return
 		}
-		visited[best] = true
+		visited |= 1 << uint(best)
 		if !f(&lines[best]) {
 			return
 		}

@@ -198,10 +198,12 @@ func (s *System) invalidateL1(core int, addr memsys.Addr) {
 	}
 	base := addr.BlockAddr(l2Block)
 	for off := memsys.Bytes(0); off < l2Block; off += s.cfg.L1Block {
-		for _, arr := range []*cache.Array[l1Line]{cs.l1d, cs.l1i} {
-			if l := arr.Probe(base + memsys.Addr(off)); l != nil {
-				arr.Invalidate(l)
-			}
+		a := base + memsys.Addr(off)
+		if l := cs.l1d.Probe(a); l != nil {
+			cs.l1d.Invalidate(l)
+		}
+		if l := cs.l1i.Probe(a); l != nil {
+			cs.l1i.Invalidate(l)
 		}
 	}
 }
@@ -410,6 +412,8 @@ const derivedCeilingSlack memsys.Cycles = 1 << 22
 // the cycle ceiling — Config.MaxCycles, or a generous budget derived
 // from instrPerCore when unset — panics with a
 // *simguard.CycleLimitExceeded even if the watchdog itself is broken.
+//
+// hotpath:root
 func (s *System) runUntil(instrPerCore uint64, done func() bool) {
 	limit, derived := s.cycleCeiling(instrPerCore)
 	wd := simguard.NewWatchdog(s.cfg.StallWindow)
@@ -430,6 +434,7 @@ func (s *System) runUntil(instrPerCore uint64, done func() bool) {
 		}
 		retired := s.step(pick)
 		if wd.Observe(now, retired) {
+			// hotpath:alloc terminal stall diagnostic, built once just before panicking
 			stall := &simguard.ProgressStall{
 				Window: wd.Window(), Steps: wd.StepsSinceRetire(), Now: now,
 				Design: s.l2.Name(), Workload: s.stream.Name(),
@@ -463,6 +468,8 @@ func (s *System) cycleCeiling(instrPerCore uint64) (limit memsys.Cycle, derived 
 // snapshotCores captures every core's architectural state for a stall
 // or ceiling diagnostic, including the L2's view of the line behind
 // each core's most recent reference when the design can report it.
+//
+// hotpath:alloc abort-only diagnostic; runs at most once per phase
 func (s *System) snapshotCores() []simguard.CoreSnapshot {
 	prober, _ := s.l2.(memsys.LineStateProber)
 	snaps := make([]simguard.CoreSnapshot, 0, len(s.cores))

@@ -150,6 +150,8 @@ func (a SnoopAction) String() string {
 // when a processor issues op against a block in state s, given the bus
 // signals sampled on a miss. It panics on C, which does not exist in
 // MESI.
+//
+// hotpath:root
 func MESIProc(s State, op ProcOp, sig Signals) (State, BusOp) {
 	switch s {
 	case Invalid:
@@ -188,6 +190,8 @@ func MESIProc(s State, op ProcOp, sig Signals) (State, BusOp) {
 // every run (see docs/PROTOCOL.md), so reaching one of these defaults
 // means a cache model drove the state machine outside the protocol —
 // exactly the bug worth crashing on.
+//
+// hotpath:root
 func MESISnoop(s State, op BusOp) (State, SnoopAction) {
 	switch s {
 	case Invalid:
@@ -240,6 +244,8 @@ func MESISnoop(s State, op BusOp) (State, SnoopAction) {
 //     invalidate stale L1 copies. (The C self-loop in Figure 4b is
 //     labelled PrWr/WrThru+BusUpg; §3.2's prose calls the transaction
 //     BusRdX — both are invalidating broadcasts; we follow the figure.)
+//
+// hotpath:root
 func MESICProc(s State, op ProcOp, sig Signals) (State, BusOp) {
 	switch s {
 	case Invalid:
@@ -280,6 +286,8 @@ func MESICProc(s State, op ProcOp, sig Signals) (State, BusOp) {
 // a BusUpg is issued only by an S or C holder, neither of which can
 // coexist with M. internal/protocheck re-proves these claims by BFS on
 // every run (docs/PROTOCOL.md).
+//
+// hotpath:root
 func MESICSnoop(s State, op BusOp) (State, SnoopAction) {
 	switch s {
 	case Modified:

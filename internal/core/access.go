@@ -10,6 +10,8 @@ import (
 // Sequential tag-data access: the private tag array is probed first
 // (5 cycles, Table 1); the forward pointer then directs the data
 // access to a d-group through the crossbar.
+//
+// hotpath:root
 func (c *Cache) Access(now memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Result {
 	addr = addr.BlockAddr(c.cfg.BlockBytes)
 	start := c.tagPort[core].Acquire(now, c.cfg.TagLatency)
@@ -130,8 +132,12 @@ func (c *Cache) replicate(core int, addr memsys.Addr, line *tagLine) {
 	*c.frameAt(np) = frameInfo{valid: true, addr: addr, revCore: core}
 	line.Data.fwd = np
 	if owns {
-		for _, o := range c.pointersTo(addr, src) {
-			c.tags[o].Probe(addr).Data.fwd = np
+		// Safe to repoint mid-scan: core's own tag already moved to np
+		// above, so only other cores' tags still match src.
+		for o := 0; o < c.cfg.Cores; o++ {
+			if ol := c.pointsAt(o, addr, src); ol != nil {
+				ol.Data.fwd = np
+			}
 		}
 		c.releaseFrame(src)
 	}

@@ -16,6 +16,7 @@ func benchCache() *Cache {
 }
 
 func BenchmarkHitClosest(b *testing.B) {
+	b.ReportAllocs()
 	c := benchCache()
 	addr := memsys.Addr(0x1000)
 	c.Access(0, 0, addr, false)
@@ -28,6 +29,7 @@ func BenchmarkHitClosest(b *testing.B) {
 }
 
 func BenchmarkHitCommunication(b *testing.B) {
+	b.ReportAllocs()
 	c := benchCache()
 	addr := memsys.Addr(0x2000)
 	c.Access(0, 0, addr, true)
@@ -41,6 +43,7 @@ func BenchmarkHitCommunication(b *testing.B) {
 }
 
 func BenchmarkMissCapacity(b *testing.B) {
+	b.ReportAllocs()
 	c := benchCache()
 	b.ResetTimer()
 	now := memsys.Cycle(0)
@@ -53,6 +56,7 @@ func BenchmarkMissCapacity(b *testing.B) {
 }
 
 func BenchmarkMixedWorkload(b *testing.B) {
+	b.ReportAllocs()
 	c := benchCache()
 	r := rng.New(1)
 	b.ResetTimer()
@@ -74,6 +78,7 @@ func BenchmarkMixedWorkload(b *testing.B) {
 }
 
 func BenchmarkCheckInvariants(b *testing.B) {
+	b.ReportAllocs()
 	c := benchCache()
 	r := rng.New(2)
 	now := memsys.Cycle(0)

@@ -48,6 +48,7 @@ func (c *Cache) releaseFrame(p ptr) {
 		panic("core: releasing an already-free frame")
 	}
 	dg.frames[p.frame] = frameInfo{}
+	// hotpath:alloc free list is pre-sized to the d-group's frame count and never grows past it
 	dg.free = append(dg.free, p.frame)
 }
 
@@ -70,21 +71,21 @@ func (c *Cache) ownerLine(p ptr) (int, *tagLine) {
 	return fr.revCore, l
 }
 
-// pointersTo returns every core whose tag entry for addr points at p.
-func (c *Cache) pointersTo(addr memsys.Addr, p ptr) []int {
-	var cores []int
-	for o := 0; o < c.cfg.Cores; o++ {
-		if l := c.tags[o].Probe(addr); l != nil && l.Data.state.Valid() && l.Data.fwd == p {
-			cores = append(cores, o)
-		}
+// pointsAt reports whether core o's tag entry for addr points at p.
+// Frame-pointer scans loop over cores with this predicate instead of
+// materializing a holder slice: eviction runs on the per-miss path,
+// where a fresh []int per scan is a measurable allocation.
+func (c *Cache) pointsAt(o int, addr memsys.Addr, p ptr) *tagLine {
+	if l := c.tags[o].Probe(addr); l != nil && l.Data.state.Valid() && l.Data.fwd == p {
+		return l
 	}
-	return cores
+	return nil
 }
 
 // anyDirtyTag reports whether any tag pointing at p holds it dirty.
 func (c *Cache) anyDirtyTag(addr memsys.Addr, p ptr) bool {
-	for _, o := range c.pointersTo(addr, p) {
-		if l := c.tags[o].Probe(addr); l != nil && l.Data.state.Dirty() {
+	for o := 0; o < c.cfg.Cores; o++ {
+		if l := c.pointsAt(o, addr, p); l != nil && l.Data.state.Dirty() {
 			return true
 		}
 	}
@@ -98,14 +99,12 @@ func (c *Cache) anyDirtyTag(addr memsys.Addr, p ptr) bool {
 func (c *Cache) evictFrame(now memsys.Cycle, p ptr) {
 	fr := c.frameAt(p)
 	addr := fr.addr
-	holders := c.pointersTo(addr, p)
 	if c.anyDirtyTag(addr, p) {
 		c.Writebacks++
 	}
 	shared := false
-	for _, o := range holders {
-		l := c.tags[o].Probe(addr)
-		if !l.Data.state.PrivateBlock() {
+	for o := 0; o < c.cfg.Cores; o++ {
+		if l := c.pointsAt(o, addr, p); l != nil && !l.Data.state.PrivateBlock() {
 			shared = true
 		}
 	}
@@ -114,8 +113,12 @@ func (c *Cache) evictFrame(now memsys.Cycle, p ptr) {
 		// them; BusRepl costs bus bandwidth but not requester latency.
 		c.post(now, bus.BusRepl)
 	}
-	for _, o := range holders {
-		c.killTag(o, c.tags[o].Probe(addr))
+	// killTag only touches core o's own tag, so re-probing per core
+	// sees exactly the holder set the scans above saw.
+	for o := 0; o < c.cfg.Cores; o++ {
+		if l := c.pointsAt(o, addr, p); l != nil {
+			c.killTag(o, l)
+		}
 	}
 	c.releaseFrame(p)
 }
@@ -216,6 +219,7 @@ func (c *Cache) tagVictim(core int, addr memsys.Addr) *tagLine {
 		}
 	}
 	var privLRU, sharedLRU *tagLine
+	// hotpath:alloc non-escaping callback: LRUOrder only calls f, so the closure and its captures stay on the stack (TestStepDoesNotAllocate holds this to zero)
 	ta.LRUOrder(set, func(l *tagLine) bool {
 		if l.Data.state.PrivateBlock() {
 			if privLRU == nil {
@@ -280,8 +284,10 @@ func (c *Cache) evictFrameSharedRemainder(now memsys.Cycle, addr memsys.Addr, p 
 		c.Writebacks++
 	}
 	c.post(now, bus.BusRepl)
-	for _, o := range c.pointersTo(addr, p) {
-		c.killTag(o, c.tags[o].Probe(addr))
+	for o := 0; o < c.cfg.Cores; o++ {
+		if l := c.pointsAt(o, addr, p); l != nil {
+			c.killTag(o, l)
+		}
 	}
 	c.releaseFrame(p)
 }

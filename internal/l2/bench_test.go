@@ -8,6 +8,7 @@ import (
 )
 
 func BenchmarkSharedAccess(b *testing.B) {
+	b.ReportAllocs()
 	s := NewUniformShared()
 	r := rng.New(1)
 	now := memsys.Cycle(0)
@@ -19,6 +20,7 @@ func BenchmarkSharedAccess(b *testing.B) {
 }
 
 func BenchmarkSNUCAAccess(b *testing.B) {
+	b.ReportAllocs()
 	s := NewSNUCA()
 	r := rng.New(1)
 	now := memsys.Cycle(0)
@@ -30,6 +32,7 @@ func BenchmarkSNUCAAccess(b *testing.B) {
 }
 
 func BenchmarkPrivateAccess(b *testing.B) {
+	b.ReportAllocs()
 	p := NewPrivate()
 	r := rng.New(1)
 	now := memsys.Cycle(0)

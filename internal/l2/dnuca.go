@@ -132,6 +132,8 @@ func (d *DNUCA) LineState(core int, addr memsys.Addr) string {
 // Access implements memsys.L2: incremental search of the bankset in
 // the requester's preference order, migration toward the requester on
 // a hit in the less-preferred bank.
+//
+// hotpath:root
 func (d *DNUCA) Access(now memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Result {
 	addr = addr.BlockAddr(d.blockBytes())
 	set := d.bankset(core, addr)

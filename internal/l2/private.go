@@ -178,6 +178,8 @@ func (p *Private) snoopOthers(core int, addr memsys.Addr, op coherence.BusOp) (s
 }
 
 // Access implements memsys.L2.
+//
+// hotpath:root
 func (p *Private) Access(now memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Result {
 	addr = addr.BlockAddr(p.blockBytes())
 	arr := p.caches[core]

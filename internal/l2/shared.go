@@ -82,6 +82,8 @@ func (s *Shared) LineState(core int, addr memsys.Addr) string {
 // capacity misses: every on-chip block has exactly one copy that all
 // cores reach at the same latency, so sharing never misses (Figure 5:
 // "Shared cache has only hits and capacity misses").
+//
+// hotpath:root
 func (s *Shared) Access(now memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Result {
 	addr = addr.BlockAddr(s.arr.Geometry().BlockBytes)
 	if l := s.arr.Probe(addr); l != nil {

@@ -140,6 +140,8 @@ func (s *SNUCA) CheckInvariants() {
 }
 
 // Access implements memsys.L2.
+//
+// hotpath:root
 func (s *SNUCA) Access(now memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Result {
 	addr = addr.BlockAddr(s.banks[0].Geometry().BlockBytes)
 	b := s.bankOf(addr)

@@ -117,25 +117,32 @@ func (p *PrivateUpdate) IsCommunication(core int, addr memsys.Addr) bool {
 	if p.caches[core].Probe(addr) == nil {
 		return false
 	}
-	others, _ := p.copies(core, addr)
-	return len(others) > 0
+	n, _, _ := p.copies(core, addr)
+	return n > 0
 }
 
 func (p *PrivateUpdate) blockBytes() memsys.Bytes { return p.caches[0].Geometry().BlockBytes }
 
-// copies returns the cores (other than core) holding addr, and whether
-// any copy is dirty.
-func (p *PrivateUpdate) copies(core int, addr memsys.Addr) (others []int, dirty bool) {
+// copies counts the cores (other than core) holding addr, returning
+// the count, the lowest such core (-1 when none), and whether any copy
+// is dirty. Counting instead of materializing a holder slice keeps the
+// per-access path allocation-free; sites that need the full set loop
+// over the cores again (update).
+func (p *PrivateUpdate) copies(core int, addr memsys.Addr) (n, first int, dirty bool) {
+	first = -1
 	for o := 0; o < topo.NumCores; o++ {
 		if o == core {
 			continue
 		}
 		if l := p.caches[o].Probe(addr); l != nil {
-			others = append(others, o)
+			if first < 0 {
+				first = o
+			}
+			n++
 			dirty = dirty || l.Data.dirty
 		}
 	}
-	return others, dirty
+	return n, first, dirty
 }
 
 func (p *PrivateUpdate) kill(core int, l *cache.Line[updPayload]) {
@@ -157,24 +164,29 @@ func (p *PrivateUpdate) kill(core int, l *cache.Line[updPayload]) {
 	}
 }
 
-// update broadcasts a write to the sharers: their L2 copies freshen in
-// place (stay valid, clean), their L1 copies drop, and the writer
-// becomes the dirty owner.
-func (p *PrivateUpdate) update(addr memsys.Addr, others []int) {
+// update broadcasts core's write to the sharers: their L2 copies
+// freshen in place (stay valid, clean), their L1 copies drop, and the
+// writer becomes the dirty owner.
+func (p *PrivateUpdate) update(core int, addr memsys.Addr) {
 	p.Updates++
 	p.stats.BusTransactions.Inc(memsys.LabelBusUpg)
-	for _, o := range others {
+	for o := 0; o < topo.NumCores; o++ {
+		if o == core {
+			continue
+		}
 		if l := p.caches[o].Probe(addr); l != nil {
 			l.Data.dirty = false
 			l.Data.exclusive = false
-		}
-		if p.l1inv != nil {
-			p.l1inv(o, addr)
+			if p.l1inv != nil {
+				p.l1inv(o, addr)
+			}
 		}
 	}
 }
 
 // Access implements memsys.L2.
+//
+// hotpath:root
 func (p *PrivateUpdate) Access(now memsys.Cycle, core int, addr memsys.Addr, write bool) memsys.Result {
 	addr = addr.BlockAddr(p.blockBytes())
 	arr := p.caches[core]
@@ -186,13 +198,13 @@ func (p *PrivateUpdate) Access(now memsys.Cycle, core int, addr memsys.Addr, wri
 		arr.Touch(l)
 		l.Data.reuses++
 		if write {
-			others, _ := p.copies(core, addr)
-			if len(others) > 0 {
+			n, _, _ := p.copies(core, addr)
+			if n > 0 {
 				// The update goes through the bus on every write —
 				// the overhead the paper charges this protocol with.
 				vis := p.bus.Transact(t, bus.BusUpg)
 				lat += vis.Sub(t)
-				p.update(addr, others)
+				p.update(core, addr)
 			}
 			l.Data.dirty = true
 		}
@@ -203,19 +215,19 @@ func (p *PrivateUpdate) Access(now memsys.Cycle, core int, addr memsys.Addr, wri
 
 	// Miss: classify per the paper's taxonomy, fill a local copy
 	// (uncontrolled replication), no invalidations.
-	others, dirty := p.copies(core, addr)
+	n, first, dirty := p.copies(core, addr)
 	category := memsys.CapacityMiss
 	if dirty {
 		category = memsys.RWSMiss
-	} else if len(others) > 0 {
+	} else if n > 0 {
 		category = memsys.ROSMiss
 	}
 	vis := p.bus.Transact(t, bus.BusRd)
 	p.stats.BusTransactions.Inc(memsys.LabelBusRd)
 	lat += vis.Sub(t)
 	t2 := now.Add(lat)
-	if len(others) > 0 {
-		remStart := p.ports[others[0]].Acquire(t2, p.hitLatency)
+	if n > 0 {
+		remStart := p.ports[first].Acquire(t2, p.hitLatency)
 		lat += remStart.Sub(t2) + p.hitLatency
 	} else {
 		p.stats.OffChipMisses++
@@ -226,11 +238,13 @@ func (p *PrivateUpdate) Access(now memsys.Cycle, core int, addr memsys.Addr, wri
 	if v.Valid {
 		p.kill(core, v)
 	}
-	pay := updPayload{exclusive: len(others) == 0, broughtBy: category}
+	pay := updPayload{exclusive: n == 0, broughtBy: category}
 	if write {
 		pay.dirty = true
-		if len(others) > 0 {
-			p.update(addr, others)
+		if n > 0 {
+			// The sharer set is unchanged since copies(): the victim
+			// kill above only touched core's own cache.
+			p.update(core, addr)
 		}
 	}
 	arr.Install(v, addr, pay)

@@ -175,6 +175,8 @@ func (c *Cache) Stats() Stats { return c.stats }
 // Access performs one reference and returns the total latency in
 // cycles and whether it hit. NuRAPID is a uniprocessor cache: there is
 // no coherence, and writes behave like reads for placement purposes.
+//
+// hotpath:root
 func (c *Cache) Access(addr memsys.Addr) (latency memsys.Cycles, hit bool) {
 	addr = addr.BlockAddr(c.cfg.BlockBytes)
 	latency = c.cfg.TagLatency
@@ -319,6 +321,7 @@ func (c *Cache) takeFrame(dgroup int) int {
 func (c *Cache) releaseFrame(p ptr) {
 	dg := c.dgroups[p.dgroup]
 	dg.frames[p.frame] = frame{}
+	// hotpath:alloc free list is pre-sized to the d-group's frame count and never grows past it
 	dg.free = append(dg.free, p.frame)
 	dg.used--
 }

@@ -64,6 +64,8 @@ type Watchdog struct {
 
 // NewWatchdog returns a watchdog with the given window; window <= 0
 // selects DefaultStallWindow.
+//
+// hotpath:alloc one watchdog allocation per run phase, not per cycle
 func NewWatchdog(window memsys.Cycles) *Watchdog {
 	if window <= 0 {
 		window = DefaultStallWindow

@@ -1,0 +1,258 @@
+package simlint
+
+import "testing"
+
+// hotFixture wraps a body into a module whose single hotpath:root
+// function contains it, so construct tests stay one-liners.
+func hotFixture(body string) map[string]string {
+	return map[string]string{
+		"internal/sim/sim.go": "package sim\n\n" + body,
+	}
+}
+
+func TestHotpathFlagsAllocatingBuiltins(t *testing.T) {
+	diags := lintFixture(t, hotFixture(`
+// hotpath:root
+func Tick() {
+	buf := make([]int, 8)
+	_ = buf
+	p := new(int)
+	_ = p
+	buf = append(buf, 1)
+}
+`), NewHotpath())
+	expectDiags(t, diags,
+		"hot path via sim.Tick: make allocates per call",
+		"hot path via sim.Tick: new allocates per call",
+		"hot path via sim.Tick: append may grow its backing array",
+	)
+}
+
+func TestHotpathFlagsCompositeLiterals(t *testing.T) {
+	diags := lintFixture(t, hotFixture(`
+type ev struct{ n int }
+
+// hotpath:root
+func Tick() {
+	s := []int{1, 2}
+	_ = s
+	m := map[int]int{1: 2}
+	_ = m
+	e := &ev{n: 1}
+	_ = e
+	v := ev{n: 1} // value literal: no heap allocation, not flagged
+	_ = v
+}
+`), NewHotpath())
+	expectDiags(t, diags,
+		"slice literal allocates its backing array",
+		"map literal allocates",
+		"&composite literal escapes to the heap",
+	)
+}
+
+func TestHotpathFlagsStringConcatAndFmt(t *testing.T) {
+	diags := lintFixture(t, hotFixture(`
+import "fmt"
+
+const prefix = "a" + "b" // constant-folds; not flagged
+
+// hotpath:root
+func Tick(name string) string {
+	msg := "core " + name
+	msg += "!"
+	fmt.Println(msg)
+	return msg
+}
+`), NewHotpath())
+	expectDiags(t, diags,
+		"string concatenation allocates",
+		"string += allocates",
+		"fmt.Println formats and allocates",
+	)
+}
+
+func TestHotpathFlagsBoxingIntoEmptyInterface(t *testing.T) {
+	diags := lintFixture(t, hotFixture(`
+func sink(v any)            {}
+func sinks(vs ...any)       {}
+func typed(v int)           {}
+func ifaceIn(v interface{ M() }) {}
+
+// hotpath:root
+func Tick(n int, already any) {
+	sink(n)       // boxes the int
+	sink(already) // already an interface: no new boxing
+	sink(nil)     // nil boxes nothing
+	sinks(n, n)   // each variadic arg boxes
+	typed(n)      // concrete parameter: fine
+}
+`), NewHotpath())
+	expectDiags(t, diags,
+		"argument of type int is boxed into an interface{} parameter",
+		"argument of type int is boxed into an interface{} parameter",
+		"argument of type int is boxed into an interface{} parameter",
+	)
+}
+
+func TestHotpathFlagsDeferClosureAndMapRange(t *testing.T) {
+	diags := lintFixture(t, hotFixture(`
+// hotpath:root
+func Tick(m map[int]int) int {
+	defer func() {}()
+	total := 0
+	add := func(n int) { total += n } // captures total
+	pure := func(n int) int { return n } // captures nothing: not flagged
+	add(pure(1))
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`), NewHotpath())
+	expectDiags(t, diags,
+		"defer on the hot path",
+		"closure captures total by reference",
+		"map iteration on the hot path",
+	)
+}
+
+func TestHotpathTraversesStaticCalls(t *testing.T) {
+	diags := lintFixture(t, map[string]string{
+		"internal/sim/sim.go": `package sim
+
+import "fix.example/m/internal/util"
+
+type core struct{ n int }
+
+// hotpath:root
+func Tick(c *core) {
+	c.step()
+}
+
+func (c *core) step() {
+	util.Scratch()
+}
+`,
+		"internal/util/util.go": `package util
+
+func Scratch() []byte {
+	return make([]byte, 64)
+}
+`,
+	}, NewHotpath())
+	expectDiags(t, diags, "hot path via sim.Tick: make allocates per call")
+}
+
+func TestHotpathIgnoresUnreachableAndDynamicCalls(t *testing.T) {
+	diags := lintFixture(t, hotFixture(`
+type worker interface{ Work() }
+
+// hotpath:root
+func Tick(w worker, f func()) {
+	w.Work() // interface dispatch: not traversed
+	f()      // function value: not traversed
+}
+
+// Unreachable from any root: allocations here are fine.
+func Setup() []int {
+	return make([]int, 1024)
+}
+
+type impl struct{ buf []byte }
+
+// Work is an implementation of worker, but with no root marker it is
+// outside the graph.
+func (i *impl) Work() {
+	i.buf = append(i.buf, 0)
+}
+`), NewHotpath())
+	expectDiags(t, diags)
+}
+
+func TestHotpathExemptsPanicArguments(t *testing.T) {
+	diags := lintFixture(t, hotFixture(`
+import "fmt"
+
+type fault struct{ core int }
+
+func describe(core int) string {
+	return fmt.Sprintf("core %d", core)
+}
+
+// hotpath:root
+func Tick(core int) {
+	if core < 0 {
+		// Terminal path: neither the concat, the literal, nor the
+		// describe call (and its fmt.Sprintf) count.
+		panic("bad core " + describe(core) + fmt.Sprint(&fault{core: core}))
+	}
+}
+`), NewHotpath())
+	expectDiags(t, diags)
+}
+
+func TestHotpathAllocMarkerSuppression(t *testing.T) {
+	diags := lintFixture(t, hotFixture(`
+// hotpath:root
+func Tick(log []int, n int) []int {
+	log = append(log, n) // hotpath:alloc pre-sized by caller, never grows in steady state
+	// hotpath:alloc scratch reused across calls
+	scratch := make([]int, 0, 8)
+	_ = scratch
+	unaudited := make([]int, 8)
+	_ = unaudited
+	return log
+}
+
+// audited allocates on every call, but the whole function is vetted.
+// hotpath:alloc cold path, runs once per run phase
+func audited() *int {
+	return new(int)
+}
+
+// hotpath:root
+func Boot() { _ = audited() }
+`), NewHotpath())
+	expectDiags(t, diags, "make allocates per call")
+}
+
+func TestHotpathMarkerRequiresReason(t *testing.T) {
+	diags := lintFixture(t, hotFixture(`
+// hotpath:root
+func Tick() {
+	buf := make([]int, 8) // hotpath:alloc
+	_ = buf
+}
+`), NewHotpath())
+	// A reason-less marker is itself a diagnostic, and it does not
+	// suppress the construct it rides on. (The construct sorts first:
+	// the marker comment sits later on the same line.)
+	expectDiags(t, diags,
+		"make allocates per call",
+		"hotpath:alloc marker is missing a reason",
+	)
+}
+
+func TestHotpathGenericCalleeResolvedViaOrigin(t *testing.T) {
+	diags := lintFixture(t, hotFixture(`
+type box[T any] struct{ items []T }
+
+func (b *box[T]) push(v T) {
+	b.items = append(b.items, v)
+}
+
+// hotpath:root
+func Tick(b *box[int]) {
+	b.push(1)
+}
+`), NewHotpath())
+	expectDiags(t, diags, "append may grow its backing array")
+}
+
+func TestHotpathNoRootsNoDiagnostics(t *testing.T) {
+	diags := lintFixture(t, hotFixture(`
+func Setup() []int { return make([]int, 64) }
+`), NewHotpath())
+	expectDiags(t, diags)
+}

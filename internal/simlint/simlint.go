@@ -189,6 +189,7 @@ func DefaultAnalyzers() []*Analyzer {
 		NewEnumSwitch(),
 		NewUnitCheck(),
 		NewRecoverCheck(DefaultRecoverAllowed),
+		NewHotpath(),
 	}
 }
 

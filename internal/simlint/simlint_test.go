@@ -124,7 +124,7 @@ func TestDefaultAnalyzersComplete(t *testing.T) {
 	want := map[string]bool{
 		"determinism": true, "panicmsg": true, "floatcmp": true,
 		"invariantcov": true, "configvalidate": true, "enumswitch": true,
-		"unitcheck": true, "recovercheck": true,
+		"unitcheck": true, "recovercheck": true, "hotpath": true,
 	}
 	for _, a := range DefaultAnalyzers() {
 		if !want[a.Name] {

@@ -1,0 +1,3 @@
+module fix.example/hotpathmutants
+
+go 1.22

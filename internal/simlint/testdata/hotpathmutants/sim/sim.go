@@ -1,0 +1,35 @@
+// Package sim seeds the hot-path allocation mutants CI proves the
+// hotpath rule catches: a fresh make and an fmt.Sprintf-fed growing
+// append inside a per-cycle tick function. Both compile cleanly and
+// run correctly — the compiler accepts them silently, which is exactly
+// why the lint exists.
+package sim
+
+import "fmt"
+
+// Core is a toy per-cycle simulator core.
+type Core struct {
+	Cycles uint64
+	regs   [8]uint64
+	trace  []string
+}
+
+// Tick advances the core one cycle.
+//
+// hotpath:root
+func (c *Core) Tick() {
+	c.Cycles++
+	// MUTANT: a fresh scratch buffer every cycle. The allocation is
+	// invisible at the call site and costs more than the work below.
+	scratch := make([]uint64, 8)
+	for i := range c.regs {
+		scratch[i] = c.regs[i] + c.Cycles
+	}
+	c.regs = [8]uint64(scratch)
+	// MUTANT: per-cycle trace formatting — a growing append fed by
+	// fmt.Sprintf, the classic debug leftover.
+	c.trace = append(c.trace, fmt.Sprintf("cycle %d", c.Cycles))
+}
+
+// Trace returns the accumulated trace lines.
+func (c *Core) Trace() []string { return c.trace }

@@ -3,6 +3,7 @@ package workload
 import "testing"
 
 func BenchmarkGeneratorNext(b *testing.B) {
+	b.ReportAllocs()
 	g := New(OLTP(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -11,6 +12,7 @@ func BenchmarkGeneratorNext(b *testing.B) {
 }
 
 func BenchmarkMixNext(b *testing.B) {
+	b.ReportAllocs()
 	m := Mixes(1)[2]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

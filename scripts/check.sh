@@ -26,9 +26,20 @@ go test -race -short ./...
 
 # One simlint invocation covers both output contracts: the text and
 # NDJSON formats are locked by cmd/simlint's CLI tests, so running the
-# module twice here only doubled the type-check cost.
-echo "== simlint =="
+# module twice here only doubled the type-check cost. The default rule
+# set includes hotpath, so this is also the hot-path self-lint gate.
+echo "== simlint (incl. hotpath self-lint) =="
 go run ./cmd/simlint ./...
+
+echo "== hotpath catches seeded hot-path mutants =="
+go build -o /tmp/simlint_check ./cmd/simlint
+if (cd internal/simlint/testdata/hotpathmutants && /tmp/simlint_check -rules hotpath ./... >/dev/null); then
+	echo "seeded hot-path allocation mutants passed hotpath"
+	exit 1
+fi
+
+echo "== bench trajectory vs BENCH_quick.json (docs/PERF.md) =="
+scripts/bench.sh
 
 echo "== protocheck (protocol model checker) =="
 go run ./cmd/protocheck
