@@ -58,11 +58,20 @@ type Config struct {
 	L1Block   memsys.Bytes
 	L1Latency memsys.Cycles
 
-	// MaxCycles is a hard ceiling on the global clock: any phase whose
-	// laggard core passes it aborts with a *simguard.CycleLimitExceeded.
-	// 0 (the default) derives a generous per-phase ceiling from the
-	// phase's instruction budget, so even a watchdog bug cannot hang a
-	// run — see docs/ROBUSTNESS.md.
+	// MaxCycles is a hard cycle budget for each measurement Run phase:
+	// a Run whose laggard core advances more than MaxCycles beyond the
+	// phase's starting clock aborts with a
+	// *simguard.CycleLimitExceeded. The budget is anchored at the
+	// phase's start — the maximum core clock when the phase begins —
+	// not at absolute cycle 0, so a Warmup (which deliberately never
+	// rewinds clocks) does not silently spend the measurement run's
+	// budget and a tight budget cannot trip on a healthy run the
+	// moment it starts. Warmup phases are always bounded by the
+	// ceiling derived from their instruction budget instead: a warmup
+	// has no user-meaningful cycle quota, and the derived ceiling
+	// already guarantees it cannot hang. 0 (the default) applies the
+	// derived per-phase ceiling to Run phases too, so even a watchdog
+	// bug cannot hang a run — see docs/ROBUSTNESS.md.
 	MaxCycles memsys.Cycles
 
 	// StallWindow is the forward-progress watchdog window: if no core
@@ -138,6 +147,21 @@ type System struct {
 	// (paper §2.2.2: "storing L1 tag copies at the L2 to keep L1
 	// caches coherent").
 	directory bool
+
+	// sched is the event-driven scheduler's laggard heap (sched.go),
+	// preallocated here so the per-step path never allocates; runUntil
+	// rebuilds it from the core clocks at every phase start.
+	sched *laggardHeap
+	// phaseDone marks cores that have completed the current phase's
+	// quantum, so runUntil's completion check is an O(1) counter
+	// decrement instead of the historical O(N) sweep per step.
+	phaseDone []bool
+	// onStep, when non-nil, observes every scheduler pick before the
+	// step executes. It is a test-only hook: the seq-vs-heap
+	// differential and tie-break tests record step-order traces
+	// through it. Production runs leave it nil (one predictable
+	// branch on the hot path, same discipline as ExtraLatency).
+	onStep func(core int)
 }
 
 // Validate panics unless the L1 configuration is structurally sound.
@@ -181,6 +205,8 @@ func New(cfg Config, l2 memsys.L2, w Workload) *System {
 	if inv, ok := l2.(memsys.L1Invalidator); ok {
 		inv.SetL1Invalidate(s.invalidateL1)
 	}
+	s.sched = newLaggardHeap(cfg.Cores)
+	s.phaseDone = make([]bool, cfg.Cores)
 	return s
 }
 
@@ -340,13 +366,8 @@ func (s *System) step(core int) (retired uint64) {
 // baselines and the L2 statistics are reset so results cover only the
 // measurement window.
 func (s *System) Warmup(instrPerCore int) {
-	s.runUntil(uint64(instrPerCore), func() bool {
-		for _, cs := range s.cores {
-			if cs.instructions < uint64(instrPerCore) {
-				return false
-			}
-		}
-		return true
+	s.runUntil(uint64(instrPerCore), warmupPhase, func(core int) bool {
+		return s.cores[core].instructions >= uint64(instrPerCore)
 	})
 	for _, cs := range s.cores {
 		cs.baseCycles = cs.cycles
@@ -368,21 +389,18 @@ func (s *System) Warmup(instrPerCore int) {
 // the standard fixed-work CMP methodology: aggregate IPC equals the
 // total quantum divided by the slowest core's time.
 func (s *System) Run(instrPerCore uint64) Results {
-	s.runUntil(instrPerCore, func() bool {
-		all := true
-		for _, cs := range s.cores {
-			if cs.endValid {
-				continue
-			}
-			if cs.instructions-cs.baseInstructions >= instrPerCore {
-				cs.endCycles = cs.cycles
-				cs.endInstructions = cs.instructions
-				cs.endValid = true
-				continue
-			}
-			all = false
+	s.runUntil(instrPerCore, runPhase, func(core int) bool {
+		cs := s.cores[core]
+		if cs.endValid {
+			return true
 		}
-		return all
+		if cs.instructions-cs.baseInstructions < instrPerCore {
+			return false
+		}
+		cs.endCycles = cs.cycles
+		cs.endInstructions = cs.instructions
+		cs.endValid = true
+		return true
 	})
 	return s.results()
 }
@@ -399,32 +417,54 @@ const derivedCyclesPerInstr = 4096
 const derivedCeilingSlack memsys.Cycles = 1 << 22
 
 // runUntil repeatedly advances the laggard core — the earliest local
-// clock — until done reports completion. Every core keeps executing
-// until the slowest reaches its target (the paper likewise runs all
-// cores and stops on the slowest's completion): a core is never frozen
-// at its own target, because a frozen core's stale resource
-// reservations would charge phantom wait cycles to the cores still
-// running, and its extra instructions are real throughput.
+// clock, ties to the lowest core index — until every core satisfies
+// complete. Every core keeps executing until the slowest reaches its
+// target (the paper likewise runs all cores and stops on the
+// slowest's completion): a core is never frozen at its own target,
+// because a frozen core's stale resource reservations would charge
+// phantom wait cycles to the cores still running, and its extra
+// instructions are real throughput.
+//
+// The loop is event-driven (sched.go): the laggard comes off an index
+// min-heap ordered by (clock, coreID) in O(log N) instead of the
+// historical O(N) scan, and completion is an O(1) remaining-cores
+// counter — complete(core) is consulted only for the core that just
+// stepped, the only core whose progress can have changed. complete
+// must be monotone (once true for a core, true forever within the
+// phase) and is where Run snapshots a core's quantum-completion state,
+// so it runs at the same instant the historical per-step sweep would
+// have observed the crossing. The step sequence is byte-identical to
+// the scan's: the heap's order is total, so the popped minimum is the
+// unique (clock, coreID) minimum — the exact core the scan's strict-<
+// walk selected (proven by the seq-vs-heap differential tests and the
+// quick-scale golden).
 //
 // Two simguard aborts bound the phase (docs/ROBUSTNESS.md): the
 // forward-progress watchdog panics with a *simguard.ProgressStall when
 // a full window passes without any core retiring an instruction, and
 // the cycle ceiling — Config.MaxCycles, or a generous budget derived
-// from instrPerCore when unset — panics with a
-// *simguard.CycleLimitExceeded even if the watchdog itself is broken.
+// from instrPerCore when unset, both anchored at the phase's starting
+// clock — panics with a *simguard.CycleLimitExceeded even if the
+// watchdog itself is broken. Both checks observe the popped clock —
+// the laggard's pre-step clock, exactly what the scan loop observed —
+// so diagnostics and detection windows are unchanged (verified by
+// TestWatchdogTripIdenticalUnderHeap).
 //
 // hotpath:root
-func (s *System) runUntil(instrPerCore uint64, done func() bool) {
-	limit, derived := s.cycleCeiling(instrPerCore)
+func (s *System) runUntil(instrPerCore uint64, phase phaseKind, complete func(core int) bool) {
+	limit, derived := s.cycleCeiling(instrPerCore, phase)
 	wd := simguard.NewWatchdog(s.cfg.StallWindow)
-	for !done() {
-		pick := 0
-		for c, cs := range s.cores {
-			if cs.cycles < s.cores[pick].cycles {
-				pick = c
-			}
+	remaining := 0
+	for i, cs := range s.cores {
+		s.sched.Set(i, cs.cycles)
+		s.phaseDone[i] = complete(i)
+		if !s.phaseDone[i] {
+			remaining++
 		}
-		now := s.cores[pick].cycles
+	}
+	s.sched.Init()
+	for remaining > 0 {
+		pick, now := s.sched.Min()
 		if now > limit {
 			panic(&simguard.CycleLimitExceeded{
 				Limit: limit, Derived: derived, Now: now,
@@ -432,7 +472,15 @@ func (s *System) runUntil(instrPerCore uint64, done func() bool) {
 				Cores: s.snapshotCores(),
 			})
 		}
+		if s.onStep != nil {
+			s.onStep(pick)
+		}
 		retired := s.step(pick)
+		s.sched.AdvanceMin(s.cores[pick].cycles)
+		if !s.phaseDone[pick] && complete(pick) {
+			s.phaseDone[pick] = true
+			remaining--
+		}
 		if wd.Observe(now, retired) {
 			// hotpath:alloc terminal stall diagnostic, built once just before panicking
 			stall := &simguard.ProgressStall{
@@ -449,17 +497,33 @@ func (s *System) runUntil(instrPerCore uint64, done func() bool) {
 	}
 }
 
+// phaseKind distinguishes warmup from measurement phases for the
+// cycle ceiling: only measurement Runs consume the explicit MaxCycles
+// budget (see Config.MaxCycles).
+type phaseKind int8
+
+const (
+	warmupPhase phaseKind = iota
+	runPhase
+)
+
 // cycleCeiling resolves the phase's hard clock limit: the explicit
-// MaxCycles when set, else the laggard-relative budget derived from
-// the phase's instruction quantum.
-func (s *System) cycleCeiling(instrPerCore uint64) (limit memsys.Cycle, derived bool) {
-	if s.cfg.MaxCycles > 0 {
-		return limit.Add(s.cfg.MaxCycles), false
-	}
+// MaxCycles for measurement Runs when set, else the budget derived
+// from the phase's instruction quantum. Both anchor at the phase's
+// starting clock (the maximum core clock when the phase begins) —
+// clocks are never rewound across phases, so anchoring an explicit
+// MaxCycles at absolute cycle 0, as the pre-heap loop did, silently
+// spent part of the budget on warmup and tripped immediately on a
+// healthy run whenever warmup had already consumed it
+// (TestExplicitCeilingIsPhaseRelative pins the fix).
+func (s *System) cycleCeiling(instrPerCore uint64, phase phaseKind) (limit memsys.Cycle, derived bool) {
 	for _, cs := range s.cores {
 		if cs.cycles > limit {
 			limit = cs.cycles
 		}
+	}
+	if phase == runPhase && s.cfg.MaxCycles > 0 {
+		return limit.Add(s.cfg.MaxCycles), false
 	}
 	budget := memsys.CyclesOf(derivedCyclesPerInstr).Times(int(instrPerCore)) + derivedCeilingSlack
 	return limit.Add(budget), true

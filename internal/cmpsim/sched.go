@@ -1,0 +1,117 @@
+package cmpsim
+
+import "cmpnurapid/internal/memsys"
+
+// This file is the event-driven scheduler's core data structure.
+// runUntil used to find the laggard core with a linear scan over every
+// core on every step and to detect phase completion with a second
+// linear sweep; both were O(N) per step and the wall ROADMAP item 2's
+// 16-64-core topologies would hit first. The heap pops the laggard in
+// O(log N) and, because only the popped core's clock ever changes,
+// re-establishes the heap property with a single root sift-down; phase
+// completion is tracked incrementally in runUntil (an O(1) counter),
+// so the per-step cost no longer grows with the core count. See
+// docs/PERF.md ("The event-driven scheduler loop") for the invariants
+// and the measured scan-vs-heap trajectory.
+
+// laggardHeap is an index min-heap of core local clocks under the
+// total order (clock, coreID): core a precedes core b iff its clock is
+// strictly earlier, or the clocks are equal and a's index is lower.
+// The index tie-break makes the order total (no two cores compare
+// equal), so the popped minimum — and therefore the whole step
+// sequence — is fully deterministic and identical to the historical
+// linear scan, which resolved clock ties to the lowest core index by
+// scan order. The tie-break is load-bearing: dropping it lets heap
+// layout decide tie order and changes simulation results
+// (TestSchedulerTieBreakPinned; the schedmutant build tag below seeds
+// exactly that bug for CI to prove the equivalence tests catch it).
+//
+// Storage is preallocated in newLaggardHeap (called once from New);
+// every method is allocation-free, keeping runUntil hotpath-clean and
+// TestStepDoesNotAllocate at zero allocs/op.
+type laggardHeap struct {
+	// clocks holds each core's local clock, indexed by core id. It is
+	// the heap's key array; order is the heap itself.
+	clocks []memsys.Cycle
+	// order is the binary-heap array of core ids: order[0] is the
+	// laggard, children of order[i] are order[2i+1] and order[2i+2].
+	order []int32
+}
+
+// newLaggardHeap returns a heap over n cores with all storage
+// preallocated; Reset must run before the first Min.
+func newLaggardHeap(n int) *laggardHeap {
+	return &laggardHeap{
+		clocks: make([]memsys.Cycle, n),
+		order:  make([]int32, n),
+	}
+}
+
+// Set records core's current clock. Used with Init to (re)build the
+// heap at phase start; between Init calls only AdvanceMin may change a
+// clock.
+func (h *laggardHeap) Set(core int, clk memsys.Cycle) { h.clocks[core] = clk }
+
+// Init heapifies from the clocks recorded by Set: O(N), run once per
+// phase, not per step.
+func (h *laggardHeap) Init() {
+	for i := range h.order {
+		h.order[i] = int32(i)
+	}
+	for i := len(h.order)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// Min returns the laggard core — the minimum under (clock, coreID) —
+// and its clock, in O(1).
+func (h *laggardHeap) Min() (core int, clk memsys.Cycle) {
+	c := h.order[0]
+	return int(c), h.clocks[c]
+}
+
+// AdvanceMin moves the laggard's clock forward to clk and restores the
+// heap property with one root sift-down: O(log N). Clocks only move
+// forward (clk must be >= the popped clock), which is why a root
+// sift-down suffices — no other core's position can be invalidated.
+func (h *laggardHeap) AdvanceMin(clk memsys.Cycle) {
+	h.clocks[h.order[0]] = clk
+	h.siftDown(0)
+}
+
+// less orders cores by (clock, coreID) — see the type comment for why
+// the id tie-break must stay.
+func (h *laggardHeap) less(a, b int32) bool {
+	ca, cb := h.clocks[a], h.clocks[b]
+	if ca != cb {
+		return ca < cb
+	}
+	// schedDropTieBreak is constant false in real builds (the branch
+	// folds away); the schedmutant build tag flips it to seed the
+	// tie-break-dropping scheduler bug for the CI mutant-catch step.
+	if schedDropTieBreak {
+		return false
+	}
+	return a < b
+}
+
+// siftDown restores the heap property below i after order[i]'s clock
+// grew.
+func (h *laggardHeap) siftDown(i int) {
+	n := len(h.order)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(h.order[r], h.order[l]) {
+			m = r
+		}
+		if !h.less(h.order[m], h.order[i]) {
+			return
+		}
+		h.order[i], h.order[m] = h.order[m], h.order[i]
+		i = m
+	}
+}

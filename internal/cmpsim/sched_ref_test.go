@@ -1,0 +1,100 @@
+package cmpsim
+
+import (
+	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/simguard"
+)
+
+// This file keeps the pre-heap scheduler loop alive as a test-only
+// reference implementation. The event-driven loop in runUntil must
+// produce the exact step sequence this scan produced — same laggard on
+// every iteration, ties to the lowest core index by scan order — so
+// the differential tests (sched_test.go) run both implementations over
+// identical configs and workloads and assert identical step-order
+// traces, Results, and abort diagnostics. The scan is deliberately a
+// verbatim copy of the old loop rather than a call into the new code:
+// a shared helper could hide a shared bug.
+
+// runUntilScan is the historical O(N)-per-step loop: a linear laggard
+// scan (strict <, so ties resolve to the lowest index) and a
+// caller-supplied done() that sweeps every core per iteration.
+func (s *System) runUntilScan(instrPerCore uint64, phase phaseKind, done func() bool) {
+	limit, derived := s.cycleCeiling(instrPerCore, phase)
+	wd := simguard.NewWatchdog(s.cfg.StallWindow)
+	for !done() {
+		pick := 0
+		for c, cs := range s.cores {
+			if cs.cycles < s.cores[pick].cycles {
+				pick = c
+			}
+		}
+		now := s.cores[pick].cycles
+		if now > limit {
+			panic(&simguard.CycleLimitExceeded{
+				Limit: limit, Derived: derived, Now: now,
+				Design: s.l2.Name(), Workload: s.stream.Name(),
+				Cores: s.snapshotCores(),
+			})
+		}
+		if s.onStep != nil {
+			s.onStep(pick)
+		}
+		retired := s.step(pick)
+		if wd.Observe(now, retired) {
+			stall := &simguard.ProgressStall{
+				Window: wd.Window(), Steps: wd.StepsSinceRetire(), Now: now,
+				Design: s.l2.Name(), Workload: s.stream.Name(),
+				Cores:      s.snapshotCores(),
+				BusBacklog: memsys.CyclesOf(-1),
+			}
+			if br, ok := s.l2.(memsys.BusBacklogReporter); ok {
+				stall.BusBacklog = br.BusBacklog(now)
+			}
+			panic(stall)
+		}
+	}
+}
+
+// warmupScan mirrors Warmup over the scan loop, including the
+// historical all-cores done() sweep.
+func (s *System) warmupScan(instrPerCore int) {
+	s.runUntilScan(uint64(instrPerCore), warmupPhase, func() bool {
+		for _, cs := range s.cores {
+			if cs.instructions < uint64(instrPerCore) {
+				return false
+			}
+		}
+		return true
+	})
+	for _, cs := range s.cores {
+		cs.baseCycles = cs.cycles
+		cs.baseInstructions = cs.instructions
+		cs.endValid = false
+		cs.L1DHits, cs.L1DMisses = 0, 0
+		cs.L1IHits, cs.L1IMisses = 0, 0
+		cs.Writethroughs = 0
+	}
+	s.l2.Stats().Reset()
+}
+
+// runScan mirrors Run over the scan loop, including the historical
+// sweep that snapshots quantum completion.
+func (s *System) runScan(instrPerCore uint64) Results {
+	s.runUntilScan(instrPerCore, runPhase, func() bool {
+		all := true
+		for _, cs := range s.cores {
+			if cs.endValid {
+				continue
+			}
+			if cs.instructions-cs.baseInstructions >= instrPerCore {
+				cs.endCycles = cs.cycles
+				cs.endInstructions = cs.instructions
+				cs.endValid = true
+				continue
+			}
+			all = false
+		}
+		return all
+	})
+	return s.results()
+}

@@ -1,0 +1,11 @@
+//go:build !schedmutant
+
+package cmpsim
+
+// schedDropTieBreak selects the laggardHeap comparator: false is the
+// real scheduler, whose clock ties resolve to the lowest core index
+// exactly like the historical linear scan. The schedmutant build tag
+// (sched_tiebreak_mutant.go) flips it to true, seeding the
+// tie-break-dropping scheduler bug; check.sh and CI prove the
+// equivalence tests fail under that tag.
+const schedDropTieBreak = false

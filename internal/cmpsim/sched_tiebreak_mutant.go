@@ -1,0 +1,13 @@
+//go:build schedmutant
+
+package cmpsim
+
+// schedDropTieBreak under the schedmutant tag is the seeded scheduler
+// mutant: clock ties are left to heap layout instead of resolving to
+// the lowest core index, so tied cores step in an order that depends
+// on the heap's internal array — a plausible "optimization" that
+// silently changes simulation results. The tie-break determinism and
+// seq-vs-heap differential tests must fail under this tag; check.sh
+// and CI's mutant-catch step build with `-tags schedmutant` and
+// require exactly that failure.
+const schedDropTieBreak = true

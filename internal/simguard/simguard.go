@@ -84,6 +84,20 @@ func (w *Watchdog) StepsSinceRetire() uint64 { return w.steps }
 // retired the instructions that step completed. It reports whether the
 // run is stalled — a full window of cycles or steps without a single
 // retirement.
+//
+// Observation-point contract: now is the clock the scheduler popped —
+// the laggard's pre-step clock, before the step's latency is charged.
+// The event-driven loop (cmpsim sched.go) pops the identical clock
+// sequence the historical linear scan produced, so the detection
+// window is unchanged by the refactor: cmpsim's
+// TestWatchdogTripIdenticalUnderHeap pins the trip step and clock to
+// the scan reference exactly, and the chaos sweep re-proves both
+// window clauses (cycle-based and step-based) against the livelock
+// mutant under the heap loop. Pre-step observation is also the tight
+// choice: anchoring lastRetire at the clock a retiring step *started*
+// means a following dead window is measured from the last instant
+// useful work was initiated, not from after its (possibly long)
+// latency had already been charged.
 func (w *Watchdog) Observe(now memsys.Cycle, retired uint64) (stalled bool) {
 	if !w.armed || retired > 0 {
 		w.armed = true

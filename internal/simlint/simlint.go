@@ -18,6 +18,7 @@ package simlint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -25,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -264,6 +266,9 @@ func parseDir(prog *Program, dir string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !inDefaultBuild(file) {
+			continue
+		}
 		if strings.HasSuffix(e.Name(), "_test.go") {
 			pkg.TestFiles = append(pkg.TestFiles, file)
 		} else {
@@ -279,6 +284,39 @@ func parseDir(prog *Program, dir string) (*Package, error) {
 		pkg.Name = strings.TrimSuffix(pkg.TestFiles[0].Name.Name, "_test")
 	}
 	return pkg, nil
+}
+
+// inDefaultBuild reports whether file's build constraint (if any) is
+// satisfied by the default build configuration — host GOOS/GOARCH, the
+// gc toolchain, and no custom tags. Files gated behind custom tags
+// (e.g. the seeded `schedmutant` scheduler bug in internal/cmpsim) are
+// excluded from the default `go build ./...` and must be excluded here
+// too, or the loader would type-check two declarations of the same
+// symbol at once. Only `//go:build` lines are recognized; the module
+// predates the legacy `// +build` form.
+func inDefaultBuild(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		// Build constraints must precede the package clause.
+		if cg.Pos() >= file.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				// Malformed constraint: keep the file and let the
+				// type-checker surface whatever is wrong.
+				return true
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH ||
+					tag == "gc" || tag == "unix"
+			})
+		}
+	}
+	return true
 }
 
 // progImporter resolves module-local imports from the in-progress load

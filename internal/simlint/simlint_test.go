@@ -3,6 +3,7 @@ package simlint
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -89,6 +90,35 @@ func TestLoadBasics(t *testing.T) {
 	}
 	if !core.UnderRel("internal") || core.UnderRel("cmd") {
 		t.Error("UnderRel misclassifies internal/core")
+	}
+}
+
+// TestLoadHonorsBuildConstraints: a file gated behind a custom build
+// tag (the seeded-mutant pattern, e.g. cmpsim's schedmutant) is
+// excluded from the default build and must be excluded from the load
+// too — otherwise the loader type-checks both declarations of the
+// tag-switched symbol and reports a phantom redeclaration.
+func TestLoadHonorsBuildConstraints(t *testing.T) {
+	prog, err := Load(writeFixture(t, map[string]string{
+		"internal/x/x.go":        "package x\n\nfunc X() bool { return mutant }\n",
+		"internal/x/real.go":     "//go:build !somemutant\n\npackage x\n\nconst mutant = false\n",
+		"internal/x/mutant.go":   "//go:build somemutant\n\npackage x\n\nconst mutant = true\n",
+		"internal/x/hostos.go":   "//go:build " + runtime.GOOS + "\n\npackage x\n\nconst onHost = true\n",
+		"internal/x/otheros.go":  "//go:build !" + runtime.GOOS + "\n\npackage x\n\nconst onHost = false\n",
+		"internal/x/use_host.go": "package x\n\nfunc Host() bool { return onHost }\n",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := prog.ByRel("internal/x")
+	if pkg == nil {
+		t.Fatal("package not loaded")
+	}
+	if len(pkg.TypeErrors) != 0 {
+		t.Errorf("tag-excluded files still type-checked: %v", pkg.TypeErrors)
+	}
+	if len(pkg.Files) != 4 {
+		t.Errorf("loaded %d files, want 4 (mutant.go and otheros.go excluded)", len(pkg.Files))
 	}
 }
 

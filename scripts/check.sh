@@ -38,6 +38,12 @@ if (cd internal/simlint/testdata/hotpathmutants && /tmp/simlint_check -rules hot
 	exit 1
 fi
 
+echo "== scheduler mutant (dropped tie-break) caught by equivalence tests =="
+if go test -tags schedmutant -run 'TestSchedulerTieBreakPinned|TestSeqVsHeapEquivalence' ./internal/cmpsim >/dev/null 2>&1; then
+	echo "seeded tie-break-dropping scheduler mutant passed the equivalence tests"
+	exit 1
+fi
+
 echo "== bench trajectory vs BENCH_quick.json (docs/PERF.md) =="
 scripts/bench.sh
 
