@@ -204,13 +204,32 @@ func TestRulesHotpathBothFormats(t *testing.T) {
 	}
 }
 
-func TestListIncludesEnumSwitch(t *testing.T) {
+// TestListPrintsRuleTable pins the -list contract: exit 0 and one
+// `name description` line per rule, in registration order — the same
+// order the cmd doc comment, README, and docs/ANALYSIS.md use, so the
+// three stay in sync with the code instead of drifting apart.
+func TestListPrintsRuleTable(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("run(-list) = %d", code)
 	}
-	if !strings.Contains(stdout.String(), "enumswitch") {
-		t.Errorf("-list missing enumswitch:\n%s", stdout.String())
+	want := []string{
+		"determinism", "panicmsg", "floatcmp", "invariantcov",
+		"configvalidate", "enumswitch", "unitcheck", "recovercheck", "hotpath",
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(want), stdout.String())
+	}
+	for i, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Errorf("-list line %d has no description: %q", i, line)
+			continue
+		}
+		if fields[0] != want[i] {
+			t.Errorf("-list line %d = %q, want rule %q (registration order)", i, fields[0], want[i])
+		}
 	}
 }
 

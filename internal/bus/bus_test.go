@@ -175,3 +175,12 @@ func TestBacklog(t *testing.T) {
 		t.Errorf("transaction after probes visible at %d, want 36", got)
 	}
 }
+
+func TestNewPanicsOnZeroSlotCycles(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero slot width did not panic")
+		}
+	}()
+	New(Config{Latency: 32, SlotCycles: 0})
+}

@@ -203,3 +203,26 @@ func TestCapacityInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestGeometryForMinimumOneSet(t *testing.T) {
+	// Capacity smaller than one way-set still yields an indexable
+	// geometry: sets is clamped to 1, never 0.
+	g := GeometryFor(64, 2, 64)
+	if g.Sets != 1 {
+		t.Errorf("GeometryFor(64 B, 2 ways, 64 B blocks).Sets = %d, want 1", g.Sets)
+	}
+}
+
+func TestVictimPrefersStaleInvalidatedLine(t *testing.T) {
+	// Invalidate keeps the line's old lastUse, so an invalidated line
+	// can look "more recently used" than a valid one. Victim must
+	// still hand back the invalid line, not the valid LRU.
+	a := smallArray()
+	a0, a1 := memsys.Addr(0), memsys.Addr(64*4)
+	a.Install(a.Victim(a0), a0, 0)
+	a.Install(a.Victim(a1), a1, 1) // a1 is MRU
+	a.Invalidate(a.Probe(a1))
+	if v := a.Victim(memsys.Addr(64 * 8)); v.Valid {
+		t.Errorf("victim is valid block %#x, want the invalidated way", a.AddrOf(v))
+	}
+}

@@ -273,3 +273,48 @@ func TestTopoCoresMatch(t *testing.T) {
 		t.Error("core count mismatch")
 	}
 }
+
+// TestCrossCoreWriteInvalidatesL1I: the directory invalidation must
+// drop I-cache copies too — a core re-fetching code another core just
+// wrote (e.g. self-modifying or JIT-style sharing) must miss, not hit
+// stale instructions.
+func TestCrossCoreWriteInvalidatesL1I(t *testing.T) {
+	ops := [][]Op{
+		{
+			{Addr: 0x1000, Instr: true},
+			{Compute: 2000, NoMem: true},
+			{Addr: 0x1000, Instr: true}, // after core 1's write: must re-fetch
+		},
+		{{Compute: 500, NoMem: true}, {Addr: 0x1000, Write: true}},
+		{}, {},
+	}
+	s := New(smallCfg(), sharedL2(), newScripted(ops))
+	r := s.Run(2002)
+	c := r.Cores[0]
+	if c.L1IMisses != 2 || c.L1IHits != 0 {
+		t.Errorf("I-cache stats = %d hits / %d misses, want 0/2 (second fetch hit a stale line?)",
+			c.L1IHits, c.L1IMisses)
+	}
+}
+
+// TestL1InvalidationCoversExactlyTheL2Block: invalidating the L1 slices
+// of one 128 B L2 block must not touch the adjacent block's L1 lines.
+func TestL1InvalidationCoversExactlyTheL2Block(t *testing.T) {
+	ops := [][]Op{
+		{
+			{Addr: 0x1000},
+			{Addr: 0x1080}, // adjacent L2 block, own L1 line
+			{Compute: 3000, NoMem: true},
+			{Addr: 0x1080}, // must still be an L1 hit afterwards
+		},
+		{{Compute: 700, NoMem: true}, {Addr: 0x1000, Write: true}},
+		{}, {},
+	}
+	s := New(smallCfg(), sharedL2(), newScripted(ops))
+	r := s.Run(3003)
+	c := r.Cores[0]
+	if c.L1DMisses != 2 || c.L1DHits != 1 {
+		t.Errorf("D-cache stats = %d hits / %d misses, want 1/2 (neighbour line wrongly invalidated?)",
+			c.L1DHits, c.L1DMisses)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"cmpnurapid/internal/bus"
 	"cmpnurapid/internal/coherence"
 	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/topo"
 )
 
 // Tests for the capacity properties the multiprogrammed evaluation
@@ -203,4 +204,40 @@ func TestOwnershipByDGroup(t *testing.T) {
 	if tags[0] != 24 || tags[1] != 0 {
 		t.Errorf("TagOccupancy = %v, want [24 0 0 0]", tags)
 	}
+}
+
+// TestNextFastestPromotesOneStep: under the NextFastest policy a
+// reused private block moves exactly one step up its core's preference
+// order, not all the way to the closest d-group (§3.3.1's conservative
+// promotion variant).
+func TestNextFastestPromotesOneStep(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Promotion = NextFastest
+	// Enough tag reach (64 entries) to keep every frame of all four
+	// d-groups live at once, so demotion chains push blocks past
+	// d-group b.
+	cfg.TagSets = 16
+	c := New(cfg)
+	now := memsys.Cycle(0)
+	for i := 0; i < 96; i++ { // overflow d-group a repeatedly
+		c.Access(now, 0, memsys.Addr(i*64), false)
+		now += 100
+	}
+	// Find a still-private block demoted at least two steps out.
+	addr, cur := memsys.Addr(0), -1
+	for i := 0; i < 96 && cur < 0; i++ {
+		a := memsys.Addr(i * 64)
+		if st, dg := c.StateOf(0, a); st == coherence.Exclusive && topo.Rank(0, dg) >= 2 {
+			addr, cur = a, dg
+		}
+	}
+	if cur < 0 {
+		t.Fatal("no private block demoted two steps (tune the fill pattern)")
+	}
+	c.Access(now, 0, addr, false)
+	want, _ := topo.NextFaster(0, cur)
+	if _, dg := c.StateOf(0, addr); dg != want {
+		t.Errorf("after reuse: d-group %d, want %d (one step up from %d, not the closest)", dg, want, cur)
+	}
+	c.CheckInvariants()
 }

@@ -331,3 +331,20 @@ func TestL2InterfaceCompliance(t *testing.T) {
 		}
 	}
 }
+
+// TestPrivateWritebackOnlyOnModifiedEviction: evicting a Modified
+// block reaches memory exactly once; clean evictions write nothing
+// back.
+func TestPrivateWritebackOnlyOnModifiedEviction(t *testing.T) {
+	p := smallPrivate() // 16 sets, 4 ways
+	base := memsys.Addr(0x8000)
+	p.Access(0, 0, base, true) // M
+	now := memsys.Cycle(100)
+	for k := 1; k <= 4; k++ { // same set: fill the ways, then evict the M block
+		p.Access(now, 0, base+memsys.Addr(k*16*64), false)
+		now += 100
+	}
+	if p.Writebacks != 1 {
+		t.Errorf("Writebacks = %d, want exactly 1 (the Modified eviction)", p.Writebacks)
+	}
+}

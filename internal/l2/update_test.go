@@ -152,3 +152,24 @@ func TestUpdateEliminatesRWSMissesAtACost(t *testing.T) {
 		t.Errorf("update bus traffic %d suspiciously low; every shared write must broadcast", updBus)
 	}
 }
+
+// TestUpdateLineStateTracksExclusivity: a cold fill with no other
+// copies installs exclusive (E, or M when dirty), while a fill that
+// finds an existing copy installs shared. LineState is the
+// stall-diagnostics window into that flag, so it must be exact.
+func TestUpdateLineStateTracksExclusivity(t *testing.T) {
+	p := smallUpdate()
+	a, b := memsys.Addr(0x4000), memsys.Addr(0x5000)
+	p.Access(0, 0, a, false)
+	if st := p.LineState(0, a); st != "E" {
+		t.Errorf("cold read fill state = %q, want E", st)
+	}
+	p.Access(100, 1, b, true)
+	if st := p.LineState(1, b); st != "M" {
+		t.Errorf("cold write fill state = %q, want M", st)
+	}
+	p.Access(200, 2, a, false)
+	if st := p.LineState(2, a); st != "S" {
+		t.Errorf("second sharer's fill state = %q, want S", st)
+	}
+}

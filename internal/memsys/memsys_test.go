@@ -109,3 +109,21 @@ func TestMissRate(t *testing.T) {
 		t.Errorf("MissRate = %v, want 0.1", got)
 	}
 }
+
+// TestRecordAccessDataArrayLabels pins the Figure 9 data-array
+// breakdown: a d-grouped hit (DGroup >= 0, including d-group 0)
+// classifies by ClosestDGroup; designs without d-groups (DGroup < 0)
+// count every hit as closest.
+func TestRecordAccessDataArrayLabels(t *testing.T) {
+	s := NewL2Stats()
+	s.RecordAccess(Result{Category: Hit, DGroup: 0, ClosestDGroup: true})
+	s.RecordAccess(Result{Category: Hit, DGroup: 2, ClosestDGroup: true})
+	s.RecordAccess(Result{Category: Hit, DGroup: 0, ClosestDGroup: false})
+	s.RecordAccess(Result{Category: Hit, DGroup: -1})
+	if got := s.DataArray.Count(LabelClosest); got != 3 {
+		t.Errorf("closest hits = %d, want 3", got)
+	}
+	if got := s.DataArray.Count(LabelFarther); got != 1 {
+		t.Errorf("farther hits = %d, want 1 (d-group 0 is a real d-group)", got)
+	}
+}

@@ -1,0 +1,310 @@
+package mutcheck
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const minimod = "testdata/minimod"
+
+func enumerateMinimod(t *testing.T) []Site {
+	t.Helper()
+	sites, err := EnumeratePackage(minimod, ".")
+	if err != nil {
+		t.Fatalf("EnumeratePackage: %v", err)
+	}
+	if len(sites) == 0 {
+		t.Fatal("no sites enumerated in fixture")
+	}
+	return sites
+}
+
+// Every operator must find at least one candidate in the fixture, and
+// every enumerated site must be applicable (Mutate succeeds and
+// changes the source).
+func TestEveryOperatorEnumeratesAndMutates(t *testing.T) {
+	sites := enumerateMinimod(t)
+	src, err := os.ReadFile(filepath.Join(minimod, "lib.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOp := map[string]int{}
+	for _, s := range sites {
+		byOp[s.Op]++
+		mutated, err := Mutate(src, s)
+		if err != nil {
+			t.Fatalf("Mutate(%s): %v", s.ID(), err)
+		}
+		if bytes.Equal(mutated, src) {
+			t.Errorf("Mutate(%s) left the source unchanged", s.ID())
+		}
+		if s.Before == s.After {
+			t.Errorf("site %s: before and after render identically: %q", s.ID(), s.Before)
+		}
+	}
+	for _, op := range Operators {
+		if byOp[op.Name] == 0 {
+			t.Errorf("operator %s found no candidate in the fixture", op.Name)
+		}
+	}
+}
+
+// Each operator's first fixture mutant must compile: the operators are
+// designed to produce type-correct single edits, with the compile
+// check only as a backstop for rare contexts (branchdel of a
+// terminating arm, constant-overflow indexes).
+func TestEveryOperatorProducesCompilableMutant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the fixture once per operator")
+	}
+	sites := enumerateMinimod(t)
+	src, err := os.ReadFile(filepath.Join(minimod, "lib.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range Operators {
+		var site *Site
+		for i := range sites {
+			if sites[i].Op == op.Name {
+				site = &sites[i]
+				break
+			}
+		}
+		if site == nil {
+			t.Errorf("operator %s: no fixture site", op.Name)
+			continue
+		}
+		mutated, err := Mutate(src, *site)
+		if err != nil {
+			t.Fatalf("Mutate(%s): %v", site.ID(), err)
+		}
+		dir := t.TempDir()
+		gomod, err := os.ReadFile(filepath.Join(minimod, "go.mod"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), gomod, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "lib.go"), mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command("go", "build", "./...")
+		cmd.Dir = dir
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("operator %s: mutant %s does not compile:\n%s\n--- mutated source:\n%s",
+				op.Name, site.ID(), out, mutated)
+		}
+	}
+}
+
+// Site enumeration and quick-tier selection are deterministic: two
+// independent runs agree exactly, including hash-sampled subsets.
+func TestEnumerationDeterministic(t *testing.T) {
+	first := enumerateMinimod(t)
+	second := enumerateMinimod(t)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("two enumerations of the same tree differ")
+	}
+	selA := SelectSites(first, 5)
+	selB := SelectSites(second, 5)
+	if !reflect.DeepEqual(selA, selB) {
+		t.Fatal("two cap-5 selections of the same sites differ")
+	}
+	if len(selA) != 5 {
+		t.Fatalf("cap 5 selected %d sites", len(selA))
+	}
+	all := SelectSites(first, 0)
+	if len(all) != len(first) {
+		t.Fatalf("cap 0 selected %d of %d sites", len(all), len(first))
+	}
+}
+
+func TestAllowlistReasonsEnforced(t *testing.T) {
+	good := "# comment\n\nlib.go:9:5:relswap mutcheck:survives clamp boundary is value-equivalent\n"
+	al, err := ParseAllowlist(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("ParseAllowlist: %v", err)
+	}
+	if al["lib.go:9:5:relswap"] != "clamp boundary is value-equivalent" {
+		t.Fatalf("parsed allowlist = %v", al)
+	}
+	for _, bad := range []string{
+		"lib.go:9:5:relswap mutcheck:survives",                // reason-less
+		"lib.go:9:5:relswap mutcheck:survives   ",             // whitespace reason
+		"lib.go:9:5:relswap because I said so",                // missing marker
+		"lib.go:9:5:relswap",                                  // bare ID
+		good + "lib.go:9:5:relswap mutcheck:survives twice\n", // duplicate
+	} {
+		if _, err := ParseAllowlist(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseAllowlist(%q) accepted an invalid entry", bad)
+		}
+	}
+}
+
+func TestLoadAllowlistMissingFileIsEmpty(t *testing.T) {
+	al, err := LoadAllowlist(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || len(al) != 0 {
+		t.Fatalf("LoadAllowlist(missing) = %v, %v", al, err)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := &Report{
+		Format: 1, Tier: "quick", Cap: 8,
+		Packages: []PackageReport{{
+			Package: "internal/cache", Sites: 42, Selected: 8, Killed: 7, Survived: 1,
+			Survivors: []Survivor{{
+				ID: "internal/cache/cache.go:10:2:relswap", File: "internal/cache/cache.go",
+				Line: 10, Col: 2, Op: "relswap", Before: "a < b", After: "a <= b",
+				Allowlisted: true, Reason: "boundary equivalent",
+			}},
+		}},
+	}
+	rep.finish()
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := back.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("round trip changed bytes:\n%s\nvs\n%s", data, data2)
+	}
+	if _, err := UnmarshalReport([]byte(`{"format":99}`)); err == nil {
+		t.Error("UnmarshalReport accepted unknown format")
+	}
+}
+
+func TestCompareRatioMayRiseNeverFall(t *testing.T) {
+	mk := func(killed, survived int) *Report {
+		r := &Report{Format: 1, Tier: "quick", Cap: 8,
+			Packages: []PackageReport{{Package: "internal/cache", Killed: killed, Survived: survived}}}
+		r.finish()
+		return r
+	}
+	var buf bytes.Buffer
+	if n := Compare(mk(7, 1), mk(7, 1), &buf); n != 0 {
+		t.Errorf("identical reports: %d failures\n%s", n, buf.String())
+	}
+	if n := Compare(mk(7, 1), mk(8, 0), &buf); n != 0 {
+		t.Errorf("ratio rise: %d failures\n%s", n, buf.String())
+	}
+	buf.Reset()
+	if n := Compare(mk(7, 1), mk(6, 2), &buf); n == 0 {
+		t.Error("ratio fall not detected")
+	} else if !strings.Contains(buf.String(), "fell below baseline") {
+		t.Errorf("unexpected failure output:\n%s", buf.String())
+	}
+	buf.Reset()
+	base := mk(7, 1)
+	fresh := &Report{Format: 1, Tier: "quick", Cap: 8}
+	fresh.finish()
+	if n := Compare(base, fresh, &buf); n == 0 {
+		t.Error("missing baseline package not detected")
+	}
+}
+
+// The full campaign against the fixture: killed and surviving mutants
+// land where the fixture's tests say they must, the allowlist turns
+// survivors into accounted-for survivors, and two consecutive runs
+// produce byte-identical reports.
+func TestFixtureCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go test once per fixture mutant")
+	}
+	shadow := filepath.Join(t.TempDir(), "shadow")
+	cfg := Config{
+		Root:     minimod,
+		Packages: map[string][]string{".": {"."}},
+		Shadow:   shadow,
+		Short:    true,
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Tier != "full" {
+		t.Errorf("tier = %q, want full", rep.Tier)
+	}
+	total := rep.Total
+	if total.Killed == 0 {
+		t.Fatal("no mutants killed — fixture tests are not running")
+	}
+	if total.Survived == 0 {
+		t.Fatal("no mutants survived — Untested should leak survivors")
+	}
+	if total.Stillborn > 0 {
+		t.Errorf("%d stillborn mutants in fixture (all fixture mutants should compile)", total.Stillborn)
+	}
+	// Untested is uncovered: every one of its mutants must survive.
+	// Its sites all sit on lines 44-48 of lib.go.
+	var untestedSurvivors int
+	for _, s := range rep.Packages[0].Survivors {
+		if s.Line >= 44 && s.Line <= 48 {
+			untestedSurvivors++
+		}
+		if s.Allowlisted {
+			t.Errorf("survivor %s allowlisted with empty allowlist", s.ID)
+		}
+	}
+	if untestedSurvivors < 4 {
+		t.Errorf("only %d survivors in Untested (want its boolnegate, branchdel, relswap, constret, ... mutants)", untestedSurvivors)
+	}
+	if got := len(rep.Unallowlisted()); got != total.Survived {
+		t.Errorf("Unallowlisted() = %d, want all %d survivors", got, total.Survived)
+	}
+
+	// Allowlist every survivor and rerun: the same survivors come
+	// back, now accounted for — and after normalizing the allowlist
+	// fields away, the rerun's JSON is byte-identical to the first
+	// run's, which is the determinism contract the committed
+	// MUTATION_quick.json baseline depends on.
+	allow := Allowlist{}
+	for _, s := range rep.Packages[0].Survivors {
+		allow[s.ID] = "fixture: deliberately uncovered"
+	}
+	cfg.Allow = allow
+	rep2, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if rep2.Total.Survived != total.Survived || rep2.Total.Allowlisted != total.Survived {
+		t.Errorf("allowlisted rerun: survived %d allowlisted %d, want both %d",
+			rep2.Total.Survived, rep2.Total.Allowlisted, total.Survived)
+	}
+	if len(rep2.Unallowlisted()) != 0 {
+		t.Errorf("allowlisted rerun still reports %d unaccounted survivors", len(rep2.Unallowlisted()))
+	}
+	for i := range rep2.Packages {
+		p := &rep2.Packages[i]
+		p.Allowlisted = 0
+		for j := range p.Survivors {
+			p.Survivors[j].Allowlisted = false
+			p.Survivors[j].Reason = ""
+		}
+	}
+	rep2.Total.Allowlisted = 0
+	b1, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := rep2.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("two identical campaigns differ beyond allowlist fields:\n%s\nvs\n%s", b1, b2)
+	}
+}

@@ -1,0 +1,3 @@
+module minimod
+
+go 1.22

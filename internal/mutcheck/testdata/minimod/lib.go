@@ -1,0 +1,49 @@
+// Package minimod is the mutation-testing fixture: a tiny module with
+// at least one candidate site for every mutcheck operator. lib_test.go
+// kills the mutants in the tested functions; Untested is deliberately
+// uncovered so its mutants survive, exercising the allowlist path.
+package minimod
+
+// Clamp returns v limited to [lo, hi].
+func Clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Last returns the final element of a.
+func Last(a []int) int {
+	return a[len(a)-1]
+}
+
+// Ready reports whether n has reached the threshold.
+func Ready(n int) bool {
+	if n >= 3 {
+		return true
+	}
+	return false
+}
+
+// FirstPositive returns the index of the first positive element that
+// is also below limit, or -1.
+func FirstPositive(a []int, limit int) int {
+	for i := 0; i < len(a); i++ {
+		if a[i] > 0 && a[i] < limit {
+			return i
+		}
+	}
+	return -1
+}
+
+// Untested is never exercised by the fixture tests: every mutant in
+// here survives.
+func Untested(x int) int {
+	if x < 10 {
+		return 0
+	}
+	return 1
+}

@@ -1,8 +1,11 @@
 package nurapid
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
+	"cmpnurapid/internal/cache"
 	"cmpnurapid/internal/memsys"
 	"cmpnurapid/internal/rng"
 )
@@ -259,4 +262,26 @@ func TestPromotionPolicyString(t *testing.T) {
 		NoPromotion.String() != "none" {
 		t.Error("PromotionPolicy String() broken")
 	}
+}
+
+// TestCheckInvariantsReportsOutOfRangeDGroup: a forward pointer whose
+// d-group equals len(dgroups) is out of range and must be reported by
+// the invariant checker itself (with the package's "nurapid:" panic
+// prefix), not left to surface as a raw index-out-of-range later.
+func TestCheckInvariantsReportsOutOfRangeDGroup(t *testing.T) {
+	c := New(tinyConfig(NoPromotion))
+	c.Access(0x1000)
+	c.tags.ForEach(func(_ int, l *cache.Line[tagData]) {
+		l.Data.fwd.dgroup = len(c.dgroups)
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("CheckInvariants accepted a fwd d-group == len(dgroups)")
+		}
+		if !strings.Contains(fmt.Sprint(r), "nurapid:") {
+			t.Fatalf("panic %v is not the invariant checker's own diagnostic", r)
+		}
+	}()
+	c.CheckInvariants()
 }

@@ -31,18 +31,13 @@ go test -race -short ./...
 echo "== simlint (incl. hotpath self-lint) =="
 go run ./cmd/simlint ./...
 
-echo "== hotpath catches seeded hot-path mutants =="
-go build -o /tmp/simlint_check ./cmd/simlint
-if (cd internal/simlint/testdata/hotpathmutants && /tmp/simlint_check -rules hotpath ./... >/dev/null); then
-	echo "seeded hot-path allocation mutants passed hotpath"
-	exit 1
-fi
+# All hand-seeded mutant gates (protocol, unit, hot-path, scheduler)
+# live in one script so this file and CI cannot drift apart.
+echo "== seeded-mutant gates (scripts/mutants.sh) =="
+scripts/mutants.sh
 
-echo "== scheduler mutant (dropped tie-break) caught by equivalence tests =="
-if go test -tags schedmutant -run 'TestSchedulerTieBreakPinned|TestSeqVsHeapEquivalence' ./internal/cmpsim >/dev/null 2>&1; then
-	echo "seeded tie-break-dropping scheduler mutant passed the equivalence tests"
-	exit 1
-fi
+echo "== generated-mutant kill ratio vs MUTATION_quick.json (docs/ANALYSIS.md) =="
+go run ./cmd/mutcheck -quiet -diff MUTATION_quick.json
 
 echo "== bench trajectory vs BENCH_quick.json (docs/PERF.md) =="
 scripts/bench.sh
