@@ -13,6 +13,9 @@
 //	recovercheck    recover() only inside the scheduler's designated recovery helper
 //	hotpath         functions reachable from hotpath:root entry points are free of
 //	                allocating/indirecting constructs unless audited with hotpath:alloc
+//	synccheck       synccheck:guardedby fields only touched under their mutex,
+//	                goroutine/WaitGroup/chan/Once lifecycle discipline, and no
+//	                nondeterminism reachable from goroutines
 //
 // Usage:
 //

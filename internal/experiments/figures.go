@@ -19,11 +19,15 @@ import (
 // running anything. Sequential use (call a FigureN method directly)
 // still works: a missing entry is filled on demand.
 type Eval struct {
-	RC       RunConfig
+	// synccheck:unguarded immutable after NewEval
+	RC RunConfig
+	// synccheck:unguarded immutable after NewEval
 	profiles []workload.Profile
-	mixes    []*workload.Multiprogrammed
+	// synccheck:unguarded immutable after NewEval
+	mixes []*workload.Multiprogrammed
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	// synccheck:guardedby mu
 	cache map[string]*cacheEntry
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -265,6 +266,73 @@ func TestExecuteCellsFailFast(t *testing.T) {
 	// dispatched, so nothing after it may run.
 	if ran.Load() != 0 {
 		t.Errorf("failfast still ran %d cells after the failure", ran.Load())
+	}
+}
+
+// TestExecuteCellsFailFastDrainsQueue: with failFast and several
+// workers, the first failure cancels the run by making the workers
+// drain the remaining queue — skipped cells neither run nor count.
+// Only cells already in flight when the failure landed may still
+// finish, so at most workers-1 tails (plus the handful a worker can
+// grab in the microseconds before the stop lands) ever execute.
+func TestExecuteCellsFailFastDrainsQueue(t *testing.T) {
+	const tails = 64
+	var ran atomic.Int64
+	cells := []Cell{
+		{Key: "boom", Run: func() { panic("experiments: first cell fails") }},
+	}
+	for i := 0; i < tails; i++ {
+		cells = append(cells, Cell{Key: fmt.Sprintf("tail-%d", i), Run: func() {
+			ran.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		}})
+	}
+	var progressed atomic.Int64
+	failures := ExecuteCells(cells, 4, true, func(done, total int, key string, _ time.Duration) {
+		progressed.Add(1)
+	})
+	if len(failures) != 1 || failures[0].Key != "boom" {
+		t.Fatalf("failures = %+v, want exactly boom", failures)
+	}
+	if got := ran.Load(); got >= tails/2 {
+		t.Errorf("failfast ran %d of %d tail cells; the queue was not drained", got, tails)
+	}
+	// Drained cells are skipped entirely: every progress callback is a
+	// cell that actually executed, nothing more and nothing less.
+	if got, want := progressed.Load(), ran.Load()+1; got != want {
+		t.Errorf("progress fired %d times for %d executed cells; drained cells must not be counted", got, want)
+	}
+}
+
+// TestCellRunPublishesAtomically pins that a cell's completion commits
+// in one piece: the progress callback runs inside finish's critical
+// section, so at the instant it observes done == N, the failures slice
+// already holds every failure among those N completions. A finish that
+// bumped the count before (or without) recording the failure, or fired
+// progress outside the lock, fails this test under -race.
+func TestCellRunPublishesAtomically(t *testing.T) {
+	const n = 96
+	r := &cellRun{total: n, stop: make(chan struct{})}
+	r.progress = func(done, total int, key string, _ time.Duration) {
+		// Safe: finish holds r.mu while invoking progress.
+		if len(r.failures) != done {
+			t.Errorf("progress saw done=%d with %d failures recorded; completion published partially", done, len(r.failures))
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n/8; i++ {
+				key := fmt.Sprintf("w%d-c%d", w, i)
+				r.finish(key, &CellFailure{Key: key, Diagnostic: "experiments: synthetic"}, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.done != n || len(r.failures) != n {
+		t.Errorf("final state done=%d failures=%d, want %d/%d", r.done, len(r.failures), n, n)
 	}
 }
 

@@ -97,9 +97,14 @@ type Analyzer struct {
 // is asked for from GOROOT source. Sharing one importer (and therefore
 // one FileSet) across Load calls means the fixture-heavy rule tests
 // and the self-lint gate pay that cost once per process, not per load.
+// loadMu serializes whole loads: both vars are only touched while it
+// is held, and each load hands out through Program.Fset / progImporter
+// the references it captured inside its own critical section.
 var (
-	loadMu       sync.Mutex
-	sharedFset   = token.NewFileSet()
+	loadMu sync.Mutex
+	// synccheck:guardedby loadMu
+	sharedFset = token.NewFileSet()
+	// synccheck:guardedby loadMu
 	stdlibImport types.ImporterFrom
 )
 
@@ -192,6 +197,7 @@ func DefaultAnalyzers() []*Analyzer {
 		NewUnitCheck(),
 		NewRecoverCheck(DefaultRecoverAllowed),
 		NewHotpath(),
+		NewSyncCheck(),
 	}
 }
 
@@ -321,9 +327,12 @@ func inDefaultBuild(file *ast.File) bool {
 
 // progImporter resolves module-local imports from the in-progress load
 // and everything else (the standard library) through the shared source
-// importer.
+// importer. It carries its own reference to that importer, captured
+// while loadMu was held, so ImportFrom never reads the guarded
+// package var outside the lock.
 type progImporter struct {
 	prog    *Program
+	stdlib  types.ImporterFrom
 	checked map[string]*types.Package
 }
 
@@ -338,12 +347,14 @@ func (i *progImporter) ImportFrom(path, dir string, mode types.ImportMode) (*typ
 		}
 		return nil, fmt.Errorf("simlint: local package %s not yet type-checked (import cycle?)", path)
 	}
-	return stdlibImport.ImportFrom(path, dir, mode)
+	return i.stdlib.ImportFrom(path, dir, mode)
 }
 
 // checkAll type-checks every package in local-dependency order.
+//
+// synccheck:holds loadMu
 func checkAll(prog *Program) {
-	imp := &progImporter{prog: prog, checked: map[string]*types.Package{}}
+	imp := &progImporter{prog: prog, stdlib: stdlibImport, checked: map[string]*types.Package{}}
 
 	deps := map[string][]string{}
 	byPath := map[string]*Package{}

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -122,6 +123,51 @@ func TestLoadHonorsBuildConstraints(t *testing.T) {
 	}
 }
 
+// TestLoadParallel exercises loadMu under the race gate: concurrent
+// loads of distinct modules share the process-wide FileSet and stdlib
+// importer, and must serialize on loadMu without corrupting either —
+// each caller still gets its own module's packages back. This is the
+// dynamic half of the loader's concurrency story; the static half is
+// synccheck's guardedby annotations on sharedFset/stdlibImport
+// (TestSyncCheckAcceptsLoaderShape pins the annotation shape).
+func TestLoadParallel(t *testing.T) {
+	dirs := []string{
+		writeFixture(t, map[string]string{
+			"go.mod": "module fix.example/para\n\ngo 1.22\n",
+			"a.go":   "package para\n\nfunc A() int { return 1 }\n",
+		}),
+		writeFixture(t, map[string]string{
+			"go.mod":            "module fix.example/parb\n\ngo 1.22\n",
+			"internal/x/x.go":   "package x\n\nimport \"sync\"\n\nvar mu sync.Mutex\n\nfunc X() { mu.Lock(); defer mu.Unlock() }\n",
+			"internal/y/y.go":   "package y\n\nfunc Y() string { return \"y\" }\n",
+			"internal/y/doc.go": "// Package y exists to give the load a second file.\npackage y\n",
+		}),
+	}
+	wantPkgs := []int{1, 2}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		which := i % len(dirs)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prog, err := Load(dirs[which])
+			if err != nil {
+				t.Errorf("parallel Load(%s): %v", dirs[which], err)
+				return
+			}
+			if len(prog.Packages) != wantPkgs[which] {
+				t.Errorf("parallel Load(%s) got %d packages, want %d", dirs[which], len(prog.Packages), wantPkgs[which])
+			}
+			for _, pkg := range prog.Packages {
+				if len(pkg.TypeErrors) != 0 {
+					t.Errorf("parallel Load(%s) type errors: %v", dirs[which], pkg.TypeErrors)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func TestLoadCollectsTypeErrorsWithoutFailing(t *testing.T) {
 	prog, err := Load(writeFixture(t, map[string]string{
 		"internal/x/x.go": "package x\n\nfunc X() int { return undefinedName }\n",
@@ -155,6 +201,7 @@ func TestDefaultAnalyzersComplete(t *testing.T) {
 		"determinism": true, "panicmsg": true, "floatcmp": true,
 		"invariantcov": true, "configvalidate": true, "enumswitch": true,
 		"unitcheck": true, "recovercheck": true, "hotpath": true,
+		"synccheck": true,
 	}
 	for _, a := range DefaultAnalyzers() {
 		if !want[a.Name] {

@@ -1,0 +1,23 @@
+// Package addafter seeds the Add-after-spawn mutant: the WaitGroup
+// Add moved inside the goroutine it covers, so Wait can observe a
+// zero counter and return before any worker has registered — the
+// classic lost-completion race. A schedule where every goroutine runs
+// its Add before the parent reaches Wait behaves perfectly, which is
+// why catching this dynamically needs scheduling luck and the static
+// pairing rule does not.
+package addafter
+
+import "sync"
+
+// Fanout runs fn once per input on its own goroutine and waits.
+func Fanout(inputs []int, fn func(int)) {
+	var wg sync.WaitGroup
+	for _, in := range inputs {
+		go func(v int) {
+			wg.Add(1)
+			defer wg.Done()
+			fn(v)
+		}(in)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,32 @@
+// Package droppedunlock seeds the dropped-Unlock mutant: the
+// aggregation loop locks the accumulator on every iteration but the
+// Unlock was lost in a refactor, so iteration two deadlocks against
+// iteration one's still-held lock. There is deliberately no test in
+// this package — executing Merge with two or more parts hangs forever,
+// which is exactly why a static pass has to own this shape: a dynamic
+// gate would have to *run* the deadlock to see it.
+package droppedunlock
+
+import "sync"
+
+// Accumulator collects per-worker partial sums.
+type Accumulator struct {
+	mu sync.Mutex
+	// synccheck:guardedby mu
+	total int
+}
+
+// Merge folds every partial sum into the total.
+func (a *Accumulator) Merge(parts []int) {
+	for _, p := range parts {
+		a.mu.Lock()
+		a.total += p
+	}
+}
+
+// Total reads the merged sum.
+func (a *Accumulator) Total() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}

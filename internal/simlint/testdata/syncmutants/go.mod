@@ -1,0 +1,3 @@
+module fix.example/syncmutants
+
+go 1.22

@@ -1,0 +1,47 @@
+// Package lockfree seeds the guarded-read-outside-the-lock mutant —
+// the one `go test -race -short` provably does NOT catch (see the
+// package test): Done reads p.done lock-free, a real data race for
+// any caller polling progress while workers run, but the only test
+// reads it after Run returns, so no racy schedule ever executes and
+// the race detector observes nothing. synccheck flags the read from
+// the annotation alone, no schedule required.
+package lockfree
+
+import "sync"
+
+// Pool counts completed work items across a bounded worker set.
+type Pool struct {
+	mu sync.Mutex
+	// synccheck:guardedby mu
+	done int
+}
+
+// Run executes n work items on k workers, counting completions.
+func (p *Pool) Run(n, k int, work func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(k)
+	queue := make(chan int, n)
+	for i := 0; i < n; i++ {
+		queue <- i
+	}
+	close(queue)
+	for w := 0; w < k; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				work(i)
+				p.mu.Lock()
+				p.done++
+				p.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Done reports how many items have completed. The lock was dropped in
+// a refactor: a progress poller calling this mid-run races the
+// workers' writes.
+func (p *Pool) Done() int {
+	return p.done
+}

@@ -1,0 +1,26 @@
+package lockfree
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolCountsAll drives the pool exactly the way a polite caller
+// would: the workers run genuinely concurrently (so -race watches
+// real parallelism), but Done is only read after Run returns. Run's
+// wg.Wait happens-before that read, so the race detector never sees
+// the lock-free access overlap a write and `go test -race -short`
+// passes — yet any caller polling Done *during* a run races the
+// workers' increments. scripts/mutants.sh pins both halves of the
+// demonstration: this test green under -race, synccheck red.
+func TestPoolCountsAll(t *testing.T) {
+	var p Pool
+	var sum atomic.Int64
+	p.Run(64, 4, func(i int) { sum.Add(int64(i)) })
+	if got := p.Done(); got != 64 {
+		t.Fatalf("Done() = %d, want 64", got)
+	}
+	if got := sum.Load(); got != 64*63/2 {
+		t.Fatalf("sum = %d, want %d", got, 64*63/2)
+	}
+}

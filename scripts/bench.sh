@@ -3,10 +3,13 @@
 # deterministic benchmark set at fixed iteration counts and either
 # diffs the result against the committed BENCH_quick.json (default;
 # allocs/op and B/op exact, wall time and throughput within slack) or
-# rewrites it (-update). Only single-goroutine benchmarks with seeded
-# workloads are included, so the allocation profile is bit-stable
-# across machines; wall-clock numbers are machine-dependent and carry
-# a generous tolerance (override with BENCH_SLACK).
+# rewrites it (-update). Benchmarks are included only when their
+# allocation profile is bit-stable across machines: single-goroutine
+# seeded workloads, plus the cell-farm benchmark whose worker count
+# and plan are fixed (its per-run allocations are deterministic even
+# though execution is parallel). Wall-clock numbers are
+# machine-dependent and carry a generous tolerance (override with
+# BENCH_SLACK).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -23,6 +26,7 @@ run_benches() {
 	go test -run '^$' -bench '^(BenchmarkHitClosest|BenchmarkHitCommunication|BenchmarkMissCapacity|BenchmarkMixedWorkload)$' -benchtime 10000x -benchmem ./internal/core
 	go test -run '^$' -bench '^(BenchmarkSharedAccess|BenchmarkSNUCAAccess|BenchmarkPrivateAccess)$' -benchtime 10000x -benchmem ./internal/l2
 	go test -run '^$' -bench '^(BenchmarkGeneratorNext|BenchmarkMixNext)$' -benchtime 100000x -benchmem ./internal/workload
+	go test -run '^$' -bench '^BenchmarkExecuteCells$' -benchtime 200x -benchmem ./internal/experiments
 }
 
 run_benches > "$out"

@@ -45,9 +45,17 @@ scripts/bench.sh
 echo "== protocheck (protocol model checker) =="
 go run ./cmd/protocheck
 
-echo "== experiments quick scale vs golden (unit refactor stays behaviour-identical) =="
-go run ./cmd/experiments -exp table1,fig5 -parallel 4 -warmup 200000 -instr 200000 -quiet > /tmp/quick_check.out
-diff docs/golden/quick_table1_fig5.golden /tmp/quick_check.out
+echo "== experiments quick scale vs golden, byte-identical at -parallel 1/4/8 =="
+# One selection, three worker counts: the golden diff pins the bytes,
+# and the cross-diffs pin that the worker count is unobservable in
+# them (docs/PARALLEL.md) — the scheduler-equivalence contract the
+# synccheck determinism bridge enforces statically.
+go run ./cmd/experiments -exp table1,fig5 -parallel 1 -warmup 200000 -instr 200000 -quiet > /tmp/quick_check_p1.out
+go run ./cmd/experiments -exp table1,fig5 -parallel 4 -warmup 200000 -instr 200000 -quiet > /tmp/quick_check_p4.out
+go run ./cmd/experiments -exp table1,fig5 -parallel 8 -warmup 200000 -instr 200000 -quiet > /tmp/quick_check_p8.out
+diff docs/golden/quick_table1_fig5.golden /tmp/quick_check_p4.out
+diff /tmp/quick_check_p1.out /tmp/quick_check_p4.out
+diff /tmp/quick_check_p1.out /tmp/quick_check_p8.out
 
 echo "== chaos: fault-injection sweep under race (docs/ROBUSTNESS.md) =="
 go test -race -short -run 'TestChaosSweep|TestControlInjectorIsBitIdentical' ./internal/simguard

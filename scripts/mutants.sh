@@ -34,6 +34,22 @@ if (cd internal/simlint/testdata/hotpathmutants && /tmp/simlint_mutants -rules h
 	exit 1
 fi
 
+echo "== synccheck catches seeded concurrency mutants =="
+if (cd internal/simlint/testdata/syncmutants && /tmp/simlint_mutants -rules synccheck ./... >/dev/null); then
+	echo "seeded concurrency mutants passed synccheck"
+	exit 1
+fi
+# The lockfree mutant is the static pass's earn-your-keep proof: its
+# guarded-field read outside the lock is a real race for concurrent
+# callers, but the package test only reads after wg.Wait, so the race
+# detector never sees a racy schedule. -race must PASS here while
+# synccheck (above) fails — if -race starts failing, the mutant no
+# longer demonstrates the gap and needs reseeding.
+if ! (cd internal/simlint/testdata/syncmutants && go test -race -short ./... >/dev/null 2>&1); then
+	echo "syncmutants must pass go test -race -short (the race is schedule-invisible by design)"
+	exit 1
+fi
+
 echo "== scheduler mutant (dropped tie-break) caught by equivalence tests =="
 if go test -tags schedmutant -run 'TestSchedulerTieBreakPinned|TestSeqVsHeapEquivalence' ./internal/cmpsim >/dev/null 2>&1; then
 	echo "seeded tie-break-dropping scheduler mutant passed the equivalence tests"
