@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cmpnurapid/internal/cmpsim"
+	"cmpnurapid/internal/memsys"
+	"cmpnurapid/internal/stats"
+)
+
+// Cell-result codec (docs/ROBUSTNESS.md). When a cell executes in an
+// isolated worker subprocess, the worker's only durable effect is the
+// set of Eval cache entries its run filled. ExportPayload serializes
+// that set — typed, losslessly, in sorted key order — into the payload
+// the farm protocol ships back to the coordinator and the result store
+// writes to disk; ImportPayload installs a payload into this
+// evaluation so rendering reads it exactly as if the cell had run
+// in-process. Every counter is an integer and Go's float64 JSON
+// encoding round-trips exactly, so the imported values render
+// byte-identically — the property the farm's golden-diff gates pin.
+
+// ExportedEntry is one serialized cache fill.
+type ExportedEntry struct {
+	// Path names the chain of sub-evaluation namespace keys
+	// ("eval/seed/<n>") from the root evaluation to the cache that
+	// holds the entry; empty for the root's own cache.
+	Path []string `json:"path,omitempty"`
+	// Key is the memo key within that cache.
+	Key string `json:"key"`
+	// Kind selects the decoder: "results", "busrun", or "table".
+	Kind string `json:"kind"`
+	// Data is the kind-specific JSON encoding of the value.
+	Data json.RawMessage `json:"data"`
+}
+
+// Entry kinds.
+const (
+	kindResults = "results"
+	kindBusRun  = "busrun"
+	kindTable   = "table"
+)
+
+// subEvalPrefix namespaces the memo entries that hold child
+// evaluations (seed-sensitivity sweeps run the same cells at shifted
+// seeds; see subEval).
+const subEvalPrefix = "eval/seed/"
+
+// busRunJSON is busRun's wire shape (its fields are unexported).
+type busRunJSON struct {
+	Results cmpsim.Results `json:"results"`
+	BusTx   uint64         `json:"busTx"`
+	BusWait memsys.Cycles  `json:"busWait"`
+}
+
+// ExportPayload serializes every completed cache entry of this
+// evaluation (and its sub-evaluations) into a payload. It is called in
+// a worker subprocess after its single cell has completed, where the
+// evaluation is fresh and single-threaded: the cache holds exactly the
+// entries that cell filled. A value of a type the codec does not know
+// is an error — a future cell kind must be taught to the codec before
+// it can run isolated, not silently dropped.
+func (e *Eval) ExportPayload() ([]byte, error) {
+	entries, err := e.exportEntries(nil)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(entries)
+}
+
+// exportEntries walks one evaluation's cache in sorted key order,
+// recursing into sub-evaluations with an extended path.
+func (e *Eval) exportEntries(path []string) ([]ExportedEntry, error) {
+	e.mu.Lock()
+	keys := make([]string, 0, len(e.cache))
+	for k := range e.cache {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ents := make([]*cacheEntry, len(keys))
+	for i, k := range keys {
+		ents[i] = e.cache[k]
+	}
+	e.mu.Unlock()
+
+	var out []ExportedEntry
+	for i, key := range keys {
+		ent := ents[i]
+		if ent.pv != nil {
+			// A poisoned entry has no value to ship; the worker reports
+			// the failure through the protocol's failure field instead.
+			continue
+		}
+		switch v := ent.val.(type) {
+		case cmpsim.Results:
+			data, err := json.Marshal(v)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: encoding %q: %w", key, err)
+			}
+			out = append(out, ExportedEntry{Path: path, Key: key, Kind: kindResults, Data: data})
+		case busRun:
+			data, err := json.Marshal(busRunJSON{Results: v.results, BusTx: v.busTx, BusWait: v.busWait})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: encoding %q: %w", key, err)
+			}
+			out = append(out, ExportedEntry{Path: path, Key: key, Kind: kindBusRun, Data: data})
+		case *stats.Table:
+			data, err := json.Marshal(v)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: encoding %q: %w", key, err)
+			}
+			out = append(out, ExportedEntry{Path: path, Key: key, Kind: kindTable, Data: data})
+		case *Eval:
+			sub, err := v.exportEntries(append(append([]string(nil), path...), key))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		default:
+			return nil, fmt.Errorf("experiments: cell value %q has unserializable type %T (teach codec.go about it before isolating this cell)", key, ent.val)
+		}
+	}
+	return out, nil
+}
+
+// ImportPayload decodes a payload produced by ExportPayload and
+// installs its entries into this evaluation's caches. Entries that
+// already exist are left untouched (two overlapping cells may both
+// export a shared entry; determinism makes the values identical), so
+// importing is idempotent and safe against concurrent fills.
+func (e *Eval) ImportPayload(payload []byte) error {
+	var entries []ExportedEntry
+	if err := json.Unmarshal(payload, &entries); err != nil {
+		return fmt.Errorf("experiments: decoding payload: %w", err)
+	}
+	for _, ent := range entries {
+		target := e
+		for _, ns := range ent.Path {
+			sub, err := target.subEvalByKey(ns)
+			if err != nil {
+				return err
+			}
+			target = sub
+		}
+		var val any
+		switch ent.Kind {
+		case kindResults:
+			var r cmpsim.Results
+			if err := json.Unmarshal(ent.Data, &r); err != nil {
+				return fmt.Errorf("experiments: decoding %q: %w", ent.Key, err)
+			}
+			val = r
+		case kindBusRun:
+			var w busRunJSON
+			if err := json.Unmarshal(ent.Data, &w); err != nil {
+				return fmt.Errorf("experiments: decoding %q: %w", ent.Key, err)
+			}
+			val = busRun{results: w.Results, busTx: w.BusTx, busWait: w.BusWait}
+		case kindTable:
+			t := &stats.Table{}
+			if err := json.Unmarshal(ent.Data, t); err != nil {
+				return fmt.Errorf("experiments: decoding %q: %w", ent.Key, err)
+			}
+			val = t
+		default:
+			return fmt.Errorf("experiments: payload entry %q has unknown kind %q", ent.Key, ent.Kind)
+		}
+		target.install(ent.Key, val)
+	}
+	return nil
+}
+
+// subEvalByKey resolves a namespace key ("eval/seed/<n>") to the child
+// evaluation it names, creating it if needed.
+func (e *Eval) subEvalByKey(ns string) (*Eval, error) {
+	seedStr, ok := strings.CutPrefix(ns, subEvalPrefix)
+	if !ok {
+		return nil, fmt.Errorf("experiments: payload path element %q is not a sub-evaluation key", ns)
+	}
+	seed, err := strconv.ParseUint(seedStr, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: payload path element %q: bad seed: %w", ns, err)
+	}
+	return e.subEval(seed), nil
+}
+
+// install fills the cache entry for key if it is not already filled.
+func (e *Eval) install(key string, val any) {
+	e.mu.Lock()
+	ent, ok := e.cache[key]
+	if !ok {
+		ent = &cacheEntry{}
+		e.cache[key] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() { ent.val = val })
+}
+
+// remoteFailure is the poison value for a cell that failed in a worker
+// subprocess: rendering re-panics with the worker's diagnostic, so ERR
+// lines and the failure report read identically to an in-process
+// failure with the same root cause.
+//
+// panicmsg:diagnostic
+type remoteFailure struct{ diagnostic string }
+
+func (f remoteFailure) Error() string { return f.diagnostic }
+
+// InstallFailure poisons the cache entry behind cellKey with a
+// worker-side diagnostic, routing seed-namespaced plan keys
+// ("seed/<n>/<key>") to the sub-evaluation whose cache the cell would
+// have filled. Rendering an experiment that needs the entry then fails
+// exactly like an in-process cell panic with the same diagnostic.
+func (e *Eval) InstallFailure(cellKey, diagnostic, stack string) {
+	target, key := e.resolveCellKey(cellKey)
+	target.mu.Lock()
+	ent, ok := target.cache[key]
+	if !ok {
+		ent = &cacheEntry{}
+		target.cache[key] = ent
+	}
+	target.mu.Unlock()
+	ent.once.Do(func() {
+		ent.pv = remoteFailure{diagnostic: diagnostic}
+		ent.stack = stack
+	})
+}
+
+// resolveCellKey maps a plan cell key to the evaluation whose cache it
+// fills and the memo key within it. Seed-sensitivity cells are
+// namespaced "seed/<n>/<key>" in the plan but fill the seed-<n>
+// sub-evaluation's cache under the bare key (seedSensitivityCells).
+func (e *Eval) resolveCellKey(cellKey string) (*Eval, string) {
+	rest, ok := strings.CutPrefix(cellKey, "seed/")
+	if !ok {
+		return e, cellKey
+	}
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		return e, cellKey
+	}
+	seed, err := strconv.ParseUint(rest[:slash], 10, 64)
+	if err != nil {
+		return e, cellKey
+	}
+	return e.subEval(seed), rest[slash+1:]
+}
+
+// Digest returns a short stable digest of everything in the run
+// configuration that determines cell results. The farm's result store
+// keys entries by (cell key, this digest, code version), so results
+// from a different scale or seed can never be served to this run.
+func (rc RunConfig) Digest() string {
+	return fmt.Sprintf("w%d-i%d-s%d-mc%d",
+		rc.WarmupInstr, rc.Instructions, rc.Seed, int64(rc.MaxCycles))
+}

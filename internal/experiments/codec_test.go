@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// codecRC is a tiny scale: the codec tests care about lossless
+// serialization, not simulation fidelity.
+func codecRC() RunConfig {
+	return RunConfig{WarmupInstr: 2_000, Instructions: 2_000, Seed: 42}
+}
+
+// TestExportImportRendersIdentically is the codec's core contract:
+// run a mixed set of cells (plain results, a busRun, a whole-table
+// memo) in one evaluation, ship the payload, import it into a fresh
+// evaluation, and every experiment must render byte-identically from
+// the imported cache — without running a single simulation.
+func TestExportImportRendersIdentically(t *testing.T) {
+	sel, err := Select("fig7,bandwidth,capacity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewEval(codecRC())
+	cells := Plan(sel, src)
+	if fails := ExecuteCells(cells, 4, false, nil); len(fails) != 0 {
+		t.Fatalf("cell failures: %v", fails)
+	}
+	payload, err := src.ExportPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewEval(codecRC())
+	if err := dst.ImportPayload(payload); err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range sel {
+		want := ex.Table(src).String()
+		got := ex.Table(dst).String()
+		if got != want {
+			t.Errorf("%s renders differently from imported cache:\n--- original ---\n%s\n--- imported ---\n%s",
+				ex.Name, want, got)
+		}
+	}
+}
+
+// TestExportImportIsIdempotent: importing a payload into an evaluation
+// that already holds some of its entries must leave them untouched.
+func TestExportImportIsIdempotent(t *testing.T) {
+	src := NewEval(codecRC())
+	p := src.Profiles()[0]
+	want := src.MT(Private, p)
+	payload, err := src.ExportPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.ImportPayload(payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.MT(Private, p); !reflect.DeepEqual(got, want) {
+		t.Error("re-importing over a filled cache changed the entry")
+	}
+}
+
+// TestExportImportSubEval: a seed-sensitivity cell fills a child
+// evaluation's cache; the payload must carry the namespace path and
+// importing must land the entry in the right child.
+func TestExportImportSubEval(t *testing.T) {
+	src := NewEval(codecRC())
+	sub := src.subEval(99)
+	p := sub.Profiles()[0]
+	want := sub.MT(UniformShared, p)
+	payload, err := src.ExportPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewEval(codecRC())
+	if err := dst.ImportPayload(payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.subEval(99).MT(UniformShared, p); !reflect.DeepEqual(got, want) {
+		t.Error("sub-evaluation entry did not survive the round trip")
+	}
+}
+
+// TestInstallFailurePoisonsLikeAPanic: a farm-side failure installed
+// for a cell must make rendering fail with the worker's diagnostic,
+// exactly like an in-process cell panic would.
+func TestInstallFailurePoisonsLikeAPanic(t *testing.T) {
+	e := NewEval(codecRC())
+	p := e.Profiles()[0]
+	key := mtKey(Private, p)
+	e.InstallFailure(key, "farm: worker crashed 3 times", "stack trace here")
+	f := CapturePanic("render", func() { e.MT(Private, p) })
+	if f == nil {
+		t.Fatal("reading a poisoned entry did not fail")
+	}
+	if f.Diagnostic != "farm: worker crashed 3 times" {
+		t.Errorf("diagnostic = %q, want the installed one", f.Diagnostic)
+	}
+	if f.Stack != "stack trace here" {
+		t.Errorf("stack = %q, want the worker's", f.Stack)
+	}
+}
+
+// TestResolveCellKeyRoutesSeedNamespace: seed-prefixed plan keys
+// resolve to the sub-evaluation and bare key; everything else stays in
+// the root evaluation under its full key.
+func TestResolveCellKeyRoutesSeedNamespace(t *testing.T) {
+	e := NewEval(codecRC())
+	ev, key := e.resolveCellKey("seed/43/mt/private/oltp")
+	if ev == e || key != "mt/private/oltp" {
+		t.Errorf("seed-namespaced key resolved to (%p, %q)", ev, key)
+	}
+	if ev2, _ := e.resolveCellKey("seed/43/mt/x/y"); ev2 != ev {
+		t.Error("same seed resolved to a different sub-evaluation")
+	}
+	// The evaluation's own seed namespaces to itself (subEval contract).
+	if ev3, key3 := e.resolveCellKey("seed/42/mt/private/oltp"); ev3 != e || key3 != "mt/private/oltp" {
+		t.Error("own-seed namespace did not resolve to the root evaluation")
+	}
+	for _, plain := range []string{"mt/private/oltp", "cap/2", "seed/x/bad", "seed/9"} {
+		if ev4, key4 := e.resolveCellKey(plain); ev4 != e || key4 != plain {
+			t.Errorf("plain key %q was rerouted to (%p, %q)", plain, ev4, key4)
+		}
+	}
+}
+
+// TestImportRejectsCorruptPayloads: malformed payloads error with a
+// structured message instead of installing garbage.
+func TestImportRejectsCorruptPayloads(t *testing.T) {
+	e := NewEval(codecRC())
+	for _, tc := range []struct{ name, payload, wantErr string }{
+		{"not json", `{{{`, "decoding payload"},
+		{"unknown kind", `[{"key":"k","kind":"mystery","data":"{}"}]`, "unknown kind"},
+		{"bad path", `[{"path":["bogus/ns"],"key":"k","kind":"table","data":"{}"}]`, "not a sub-evaluation"},
+		{"bad seed", `[{"path":["eval/seed/xyz"],"key":"k","kind":"table","data":"{}"}]`, "bad seed"},
+		{"bad data", `[{"key":"k","kind":"results","data":"not-results"}]`, "decoding"},
+	} {
+		err := e.ImportPayload([]byte(tc.payload))
+		if err == nil {
+			t.Errorf("%s: imported without error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestRunConfigDigestSeparatesScales: any field that changes results
+// must change the digest, and equal configs must agree.
+func TestRunConfigDigestSeparatesScales(t *testing.T) {
+	base := codecRC()
+	if base.Digest() != codecRC().Digest() {
+		t.Error("equal configs digest differently")
+	}
+	seen := map[string]string{base.Digest(): "base"}
+	for name, rc := range map[string]RunConfig{
+		"warmup":    {WarmupInstr: 3_000, Instructions: 2_000, Seed: 42},
+		"instr":     {WarmupInstr: 2_000, Instructions: 3_000, Seed: 42},
+		"seed":      {WarmupInstr: 2_000, Instructions: 2_000, Seed: 43},
+		"maxcycles": {WarmupInstr: 2_000, Instructions: 2_000, Seed: 42, MaxCycles: 5},
+	} {
+		d := rc.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Errorf("%s collides with %s: %s", name, prev, d)
+		}
+		seen[d] = name
+	}
+}

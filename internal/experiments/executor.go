@@ -1,0 +1,33 @@
+package experiments
+
+// The scheduler's execution strategy is pluggable (docs/PARALLEL.md,
+// docs/ROBUSTNESS.md): the worker pool dispatches each planned cell to
+// a CellExecutor, and the executor decides *where* the simulation
+// runs. InProcess — the historical behaviour — runs the cell's Run
+// closure in this process under CapturePanic. internal/farm's
+// Supervisor runs it in an isolated worker subprocess and imports the
+// serialized results back into the Eval cache, so a hard crash (OOM,
+// SIGKILL, runtime fault) of one cell cannot take down the run.
+// Either way the cell's cache entry ends up filled or poisoned, and
+// rendering afterwards cannot tell the difference — the executor is
+// unobservable in stdout.
+
+// CellExecutor runs one planned cell to completion. Execute returns
+// nil on success or the cell's failure; in both cases the evaluation's
+// cache entry for the cell must be left filled (success) or poisoned
+// (failure) so rendering behaves identically across executors.
+// Execute is called concurrently from the scheduler's worker pool and
+// must be safe for concurrent use.
+type CellExecutor interface {
+	Execute(c Cell) *CellFailure
+}
+
+// inProcess is the default executor: the cell runs on the calling
+// goroutine, and a panic is recovered into a CellFailure (the memo
+// cache poisons its own entry on the way out).
+type inProcess struct{}
+
+func (inProcess) Execute(c Cell) *CellFailure { return CapturePanic(c.Key, c.Run) }
+
+// InProcess returns the in-process executor.
+func InProcess() CellExecutor { return inProcess{} }

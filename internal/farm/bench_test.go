@@ -1,0 +1,75 @@
+package farm
+
+import (
+	"fmt"
+	"testing"
+
+	"cmpnurapid/internal/experiments"
+)
+
+// BenchmarkFarmOverhead measures what -isolate costs per cell over the
+// in-process executor: spawning a worker subprocess and round-tripping
+// the frame protocol plus the store write ("dispatch"), and serving a
+// cell from the durable store without any worker ("store-hit"), against
+// the bare in-process dispatch baseline ("in-process"). Run without
+// -benchmem: subprocess allocation counts are not deterministic, so
+// only wall time is tracked in the trajectory (docs/PERF.md).
+func BenchmarkFarmOverhead(b *testing.B) {
+	b.Run("dispatch", func(b *testing.B) {
+		dir := b.TempDir()
+		store, err := OpenStore(dir, "bench", "v1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sk := newSink()
+		sup := New(Config{
+			Seed:         7,
+			Store:        store,
+			NewWorkerCmd: stubCmd(b, "ok"),
+			Install:      sk.install,
+			Fail:         sk.fail,
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh key per iteration keeps the store cold: this measures
+			// spawn + protocol + Put, never a hit.
+			if f := sup.Execute(cell(fmt.Sprintf("bench/cell-%d", i))); f != nil {
+				b.Fatalf("%+v", f)
+			}
+		}
+	})
+	b.Run("store-hit", func(b *testing.B) {
+		dir := b.TempDir()
+		store, err := OpenStore(dir, "bench", "v1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sk := newSink()
+		sup := New(Config{
+			Seed:         7,
+			Store:        store,
+			NewWorkerCmd: stubCmd(b, "crash"), // a hit must never need the worker
+			Install:      sk.install,
+			Fail:         sk.fail,
+		})
+		if err := store.Put("bench/cell", []byte(`{"cell":"bench/cell"}`)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if f := sup.Execute(cell("bench/cell")); f != nil {
+				b.Fatalf("%+v", f)
+			}
+		}
+	})
+	b.Run("in-process", func(b *testing.B) {
+		exec := experiments.InProcess()
+		c := experiments.Cell{Key: "bench/cell", Run: func() {}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if f := exec.Execute(c); f != nil {
+				b.Fatalf("%+v", f)
+			}
+		}
+	})
+}

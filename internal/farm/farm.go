@@ -1,0 +1,340 @@
+package farm
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cmpnurapid/internal/experiments"
+	"cmpnurapid/internal/rng"
+)
+
+// Config parameterizes a Supervisor. NewWorkerCmd, Install, and Fail
+// are the three seams to the host binary: how to spawn a worker for a
+// cell, how to commit a completed payload into the evaluation cache,
+// and how to record a permanent failure so rendering degrades exactly
+// like an in-process cell panic.
+type Config struct {
+	// Retries is the per-cell retry budget: a cell may be attempted
+	// 1+Retries times before its failure becomes permanent. Negative is
+	// treated as 0.
+	Retries int
+	// Timeout is the per-attempt wall-clock ceiling; a worker still
+	// running after it is killed and the attempt counts as retryable
+	// (the stall-then-kill path). 0 disables the ceiling.
+	Timeout time.Duration
+	// Backoff is the base delay before a crash/timeout retry; attempt n
+	// waits Backoff<<n plus seeded jitter. 0 uses 100ms.
+	Backoff time.Duration
+	// Seed seeds the per-cell jitter and chaos-delay streams
+	// (internal/rng), so a retry schedule is reproducible from (Seed,
+	// cell key) no matter how goroutines interleave.
+	Seed uint64
+	// Store, when non-nil, is consulted before computing and updated
+	// after every success.
+	Store *Store
+	// NewWorkerCmd builds the (unstarted) worker subprocess for one
+	// attempt at key; the supervisor wires stdin/stdout itself.
+	NewWorkerCmd func(key string) *exec.Cmd
+	// Install commits a completed payload (from a worker or a store
+	// hit). An error means the payload is undecodable.
+	Install func(key string, payload []byte) error
+	// Fail records a permanently failed cell so rendering shows an ERR
+	// line with the same diagnostic as the returned CellFailure.
+	Fail func(key, diagnostic, stack string)
+	// Log receives supervision diagnostics (store rejections, retry
+	// notices); nil discards them. Never written concurrently with
+	// result output: it is the coordinator's stderr.
+	Log io.Writer
+	// Kill and Stall are the chaos-injection hooks
+	// (simguard.WorkerKill / simguard.WorkerStall): Kill SIGKILLs the
+	// worker for (key, attempt) after a short seeded delay, Stall makes
+	// the worker hang so the Timeout path fires. Nil disables each.
+	Kill  func(key string, attempt int) bool
+	Stall func(key string, attempt int) bool
+	// KillDelayMax bounds the seeded delay before an injected kill
+	// lands (default 25ms) — long enough to be mid-cell, short enough
+	// for tests.
+	KillDelayMax time.Duration
+	// sleep replaces time.Sleep in tests to record backoff schedules.
+	sleep func(time.Duration)
+}
+
+// Stats counts what a farm run did. Every counter is monotonic; a
+// chaos test asserts over them (killed attempts were retried, the
+// store served hits on resume).
+type Stats struct {
+	// Cells is the number of Execute calls (plan cells dispatched).
+	Cells int
+	// StoreHits is the number of cells served from the store.
+	StoreHits int
+	// Computed is the number of cells completed by a worker.
+	Computed int
+	// Failed is the number of cells that became permanent failures.
+	Failed int
+	// Retries counts attempts after the first, across all cells.
+	Retries int
+	// KilledAttempts counts chaos-injected SIGKILLs that were actually
+	// delivered before the worker answered.
+	KilledAttempts int
+	// Timeouts counts attempts killed by the per-attempt ceiling.
+	Timeouts int
+	// Crashes counts attempts that died without a valid response
+	// (excluding timeouts).
+	Crashes int
+	// CorruptEntries counts store entries rejected by integrity checks.
+	CorruptEntries int
+}
+
+// Supervisor executes cells in isolated worker subprocesses with
+// retry, timeout, backoff, and the durable store. It implements
+// experiments.CellExecutor, so experiments.ExecuteCellsOn drives it
+// with the same pool, fail-fast, and progress machinery as in-process
+// runs. Safe for concurrent use.
+type Supervisor struct {
+	// synccheck:unguarded immutable after New
+	cfg Config
+
+	mu sync.Mutex
+	// synccheck:guardedby mu
+	stats Stats
+}
+
+// New validates the configuration and returns a Supervisor.
+func New(cfg Config) *Supervisor {
+	if cfg.NewWorkerCmd == nil {
+		panic("farm: Config.NewWorkerCmd is required")
+	}
+	if cfg.Install == nil {
+		panic("farm: Config.Install is required")
+	}
+	if cfg.Fail == nil {
+		panic("farm: Config.Fail is required")
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.KillDelayMax <= 0 {
+		cfg.KillDelayMax = 25 * time.Millisecond
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = time.Sleep
+	}
+	return &Supervisor{cfg: cfg}
+}
+
+// Stats returns a snapshot of the run counters.
+func (s *Supervisor) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// count applies one mutation to the stats under the lock.
+func (s *Supervisor) count(f func(*Stats)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(&s.stats)
+}
+
+// logf writes one supervision diagnostic line under the lock (multiple
+// pool goroutines supervise concurrently; lines must not interleave).
+func (s *Supervisor) logf(format string, args ...any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.cfg.Log, format+"\n", args...)
+}
+
+// Execute runs one cell: store lookup, then supervised worker attempts
+// with bounded retries. Crashes, timeouts, and protocol errors are
+// retryable; a deterministic in-cell panic (the worker answered with a
+// structured failure) is retried at most until the same diagnostic
+// repeats — the same failure twice proves determinism, so further
+// attempts cannot succeed. On permanent failure the cell's cache entry
+// is poisoned via cfg.Fail and the failure is returned in the same
+// shape an in-process panic would produce.
+func (s *Supervisor) Execute(c experiments.Cell) *experiments.CellFailure {
+	key := c.Key
+	s.count(func(st *Stats) { st.Cells++ })
+
+	if s.cfg.Store != nil {
+		payload, entErr := s.cfg.Store.Get(key)
+		if entErr != nil {
+			s.count(func(st *Stats) { st.CorruptEntries++ })
+			s.logf("farm: %v (recomputing)", entErr)
+		} else if payload != nil {
+			if err := s.cfg.Install(key, payload); err != nil {
+				s.count(func(st *Stats) { st.CorruptEntries++ })
+				s.logf("farm: store entry for %q undecodable: %v (recomputing)", key, err)
+			} else {
+				s.count(func(st *Stats) { st.StoreHits++ })
+				return nil
+			}
+		}
+	}
+
+	// jitter is this cell's private backoff stream: seeded from (Seed,
+	// key), so the schedule is reproducible however the pool interleaves.
+	jitter := rng.New(s.cfg.Seed ^ hashKey(key))
+	var lastPanic *Failure
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			s.count(func(st *Stats) { st.Retries++ })
+		}
+		resp, crash := s.runAttempt(key, attempt, jitter)
+		switch {
+		case crash == "" && resp.Failure == nil:
+			if err := s.cfg.Install(key, resp.Payload); err != nil {
+				crash = fmt.Sprintf("worker payload undecodable: %v", err)
+				break
+			}
+			if s.cfg.Store != nil {
+				if err := s.cfg.Store.Put(key, resp.Payload); err != nil {
+					s.logf("farm: %v", err) // the result is installed; a store write failure only costs incrementality
+				}
+			}
+			s.count(func(st *Stats) { st.Computed++ })
+			return nil
+		case crash == "":
+			// A deterministic panic inside the cell, reported cleanly.
+			f := resp.Failure
+			if lastPanic != nil && lastPanic.Diagnostic == f.Diagnostic {
+				s.logf("farm: cell %q failed identically twice (deterministic); not retrying", key)
+				return s.permanent(key, f.Diagnostic, f.Stack)
+			}
+			if attempt >= s.cfg.Retries {
+				return s.permanent(key, f.Diagnostic, f.Stack)
+			}
+			lastPanic = f
+			s.logf("farm: cell %q panicked (attempt %d/%d): %s; retrying", key, attempt+1, s.cfg.Retries+1, firstLine(f.Diagnostic))
+			continue
+		}
+		// Retryable: crash, timeout, exec or protocol error.
+		if attempt >= s.cfg.Retries {
+			diag := fmt.Sprintf("farm: cell %q gave up after %d attempt(s): %s", key, attempt+1, crash)
+			return s.permanent(key, diag, "")
+		}
+		delay := s.backoff(attempt, jitter)
+		s.logf("farm: cell %q attempt %d/%d failed: %s; backing off %v", key, attempt+1, s.cfg.Retries+1, crash, delay)
+		s.cfg.sleep(delay)
+	}
+}
+
+// permanent records a cell's final failure and returns it.
+func (s *Supervisor) permanent(key, diagnostic, stack string) *experiments.CellFailure {
+	s.count(func(st *Stats) { st.Failed++ })
+	s.cfg.Fail(key, diagnostic, stack)
+	return &experiments.CellFailure{Key: key, Diagnostic: diagnostic, Value: diagnostic, Stack: stack}
+}
+
+// backoff computes the delay before retrying after attempt: base<<n,
+// capped at 64x base, plus up to 50% seeded jitter so simultaneous
+// crashers (an OOM burst killing many workers) do not retry in
+// lockstep.
+func (s *Supervisor) backoff(attempt int, jitter *rng.Source) time.Duration {
+	d := s.cfg.Backoff
+	for i := 0; i < attempt && d < 64*s.cfg.Backoff; i++ {
+		d *= 2
+	}
+	return d + time.Duration(jitter.Intn(int(d/2)+1))
+}
+
+// runAttempt spawns one worker for (key, attempt) and returns either
+// its response or a non-empty crash description. The request frame is
+// written to the worker's stdin and exactly one response frame is read
+// from its stdout; anything else — a death by signal, a truncated
+// frame, trailing garbage, a response for the wrong key — is a crash.
+func (s *Supervisor) runAttempt(key string, attempt int, jitter *rng.Source) (*Response, string) {
+	stall := s.cfg.Stall != nil && s.cfg.Stall(key, attempt)
+	kill := s.cfg.Kill != nil && s.cfg.Kill(key, attempt)
+
+	var req bytes.Buffer
+	if err := WriteFrame(&req, Request{Key: key, Attempt: attempt, Stall: stall}); err != nil {
+		return nil, fmt.Sprintf("encoding request: %v", err)
+	}
+	cmd := s.cfg.NewWorkerCmd(key)
+	cmd.Stdin = &req
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Sprintf("worker failed to start: %v", err)
+	}
+
+	var timedOut atomic.Bool
+	if s.cfg.Timeout > 0 {
+		t := time.AfterFunc(s.cfg.Timeout, func() { // synccheck:nondet supervision timing; results unaffected
+			timedOut.Store(true)
+			_ = cmd.Process.Kill()
+		})
+		defer t.Stop()
+	}
+	var killed atomic.Bool
+	if kill {
+		// The injected SIGKILL lands after a short seeded delay — mid-
+		// cell for any real simulation — modeling an OOM kill or node
+		// failure. Landing after the worker already answered is
+		// harmless: the response was complete, so it counts as a
+		// success, not a kill.
+		delay := time.Duration(jitter.Intn(int(s.cfg.KillDelayMax) + 1))
+		t := time.AfterFunc(delay, func() { // synccheck:nondet chaos injection timing; results unaffected
+			killed.Store(true)
+			_ = cmd.Process.Kill()
+		})
+		defer t.Stop()
+	}
+
+	waitErr := cmd.Wait()
+	var resp Response
+	frameErr := ReadFrame(bytes.NewReader(out.Bytes()), &resp)
+	if frameErr == nil && resp.Key == key {
+		// A complete response outruns any late kill or timeout signal.
+		return &resp, ""
+	}
+	if timedOut.Load() {
+		s.count(func(st *Stats) { st.Timeouts++ })
+		return nil, fmt.Sprintf("attempt timed out after %v", s.cfg.Timeout)
+	}
+	if killed.Load() {
+		s.count(func(st *Stats) { st.KilledAttempts++; st.Crashes++ })
+		return nil, "worker killed (injected chaos)"
+	}
+	s.count(func(st *Stats) { st.Crashes++ })
+	if waitErr != nil {
+		return nil, fmt.Sprintf("worker exited abnormally: %v", waitErr)
+	}
+	if frameErr != nil {
+		return nil, fmt.Sprintf("worker protocol error: %v", frameErr)
+	}
+	return nil, fmt.Sprintf("worker answered for wrong cell %q", resp.Key)
+}
+
+// hashKey folds a cell key into a 64-bit seed component (FNV-1a).
+func hashKey(key string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return h
+}
+
+// firstLine truncates a multi-line diagnostic for log lines.
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,529 @@
+package farm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cmpnurapid/internal/experiments"
+	"cmpnurapid/internal/simguard"
+)
+
+// TestMain doubles this test binary as a scripted stub worker: when
+// FARM_STUB_WORKER names a behaviour, the process speaks one frame
+// exchange (or misbehaves in the scripted way) instead of running
+// tests. The supervisor under test execs os.Executable() with that
+// environment set, so no second binary is needed.
+func TestMain(m *testing.M) {
+	if mode := os.Getenv("FARM_STUB_WORKER"); mode != "" {
+		os.Exit(stubWorker(mode))
+	}
+	os.Exit(m.Run())
+}
+
+func stubWorker(mode string) int {
+	var req Request
+	if err := ReadFrame(os.Stdin, &req); err != nil {
+		return 3
+	}
+	ok := func() int {
+		payload := fmt.Sprintf(`{"cell":%q}`, req.Key)
+		if err := WriteFrame(os.Stdout, Response{Key: req.Key, Payload: []byte(payload)}); err != nil {
+			return 3
+		}
+		return 0
+	}
+	panicWith := func(diag string) int {
+		resp := Response{Key: req.Key, Failure: &Failure{Diagnostic: diag, Stack: "goroutine 1 [running]:\nstub"}}
+		if err := WriteFrame(os.Stdout, resp); err != nil {
+			return 3
+		}
+		return 0
+	}
+	switch mode {
+	case "ok":
+		return ok()
+	case "slow-ok":
+		// Slow enough that an injected SIGKILL (≤25ms) always lands
+		// first; honors the protocol's stall request by hanging.
+		if req.Stall {
+			time.Sleep(time.Minute)
+		}
+		time.Sleep(50 * time.Millisecond)
+		return ok()
+	case "crash":
+		os.Exit(7)
+	case "crash-then-ok":
+		if req.Attempt == 0 {
+			os.Exit(7)
+		}
+		return ok()
+	case "panic":
+		return panicWith("simguard: deterministic boom")
+	case "flaky-panic":
+		return panicWith(fmt.Sprintf("simguard: boom on attempt %d", req.Attempt))
+	case "garbage":
+		fmt.Fprint(os.Stdout, "this is not a frame")
+		return 0
+	case "truncated":
+		var prefix [4]byte
+		binary.BigEndian.PutUint32(prefix[:], 1000)
+		os.Stdout.Write(prefix[:])
+		fmt.Fprint(os.Stdout, `{"key":`)
+		return 0
+	case "wrong-key":
+		if err := WriteFrame(os.Stdout, Response{Key: req.Key + "/other", Payload: []byte(`{}`)}); err != nil {
+			return 3
+		}
+		return 0
+	case "hang":
+		time.Sleep(time.Minute)
+		return 0
+	}
+	return 3
+}
+
+// stubCmd builds a NewWorkerCmd that re-execs this test binary in the
+// named stub mode.
+func stubCmd(t testing.TB, mode string) func(key string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(key string) *exec.Cmd {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), "FARM_STUB_WORKER="+mode)
+		return cmd
+	}
+}
+
+// sink records what the supervisor committed: installed payloads and
+// permanent failures.
+type sink struct {
+	mu sync.Mutex
+	// synccheck:guardedby mu
+	installs map[string]string
+	// synccheck:guardedby mu
+	fails map[string]string
+}
+
+func newSink() *sink {
+	return &sink{installs: map[string]string{}, fails: map[string]string{}}
+}
+
+func (s *sink) install(key string, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.installs[key] = string(payload)
+	return nil
+}
+
+func (s *sink) fail(key, diagnostic, stack string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fails[key] = diagnostic
+}
+
+func testConfig(t *testing.T, mode string, sk *sink) Config {
+	t.Helper()
+	return Config{
+		Seed:         7,
+		Backoff:      time.Millisecond,
+		NewWorkerCmd: stubCmd(t, mode),
+		Install:      sk.install,
+		Fail:         sk.fail,
+	}
+}
+
+func cell(key string) experiments.Cell { return experiments.Cell{Key: key} }
+
+func TestSupervisorSuccess(t *testing.T) {
+	sk := newSink()
+	sup := New(testConfig(t, "ok", sk))
+	if f := sup.Execute(cell("fig7/a")); f != nil {
+		t.Fatalf("healthy worker failed: %+v", f)
+	}
+	if got := sk.installs["fig7/a"]; got != `{"cell":"fig7/a"}` {
+		t.Errorf("installed payload %q", got)
+	}
+	st := sup.Stats()
+	if st.Computed != 1 || st.Retries != 0 || st.Failed != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestSupervisorRetriesCrashWithBackoff: a worker that dies on its
+// first attempt is retried after a backoff delay drawn from the cell's
+// seeded jitter stream, and the retry's result is installed normally.
+func TestSupervisorRetriesCrashWithBackoff(t *testing.T) {
+	sk := newSink()
+	cfg := testConfig(t, "crash-then-ok", sk)
+	cfg.Retries = 2
+	var slept []time.Duration
+	cfg.sleep = func(d time.Duration) { slept = append(slept, d) }
+	sup := New(cfg)
+	if f := sup.Execute(cell("fig7/a")); f != nil {
+		t.Fatalf("crash-then-ok failed permanently: %+v", f)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("recorded %d backoff sleeps, want 1: %v", len(slept), slept)
+	}
+	if slept[0] < cfg.Backoff || slept[0] > cfg.Backoff+cfg.Backoff/2 {
+		t.Errorf("first backoff %v outside [base, base+50%%] of %v", slept[0], cfg.Backoff)
+	}
+	st := sup.Stats()
+	if st.Crashes != 1 || st.Retries != 1 || st.Computed != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestSupervisorBackoffScheduleIsDeterministic: the same (seed, key)
+// yields the same backoff delays regardless of when the attempts run.
+func TestSupervisorBackoffScheduleIsDeterministic(t *testing.T) {
+	schedule := func() []time.Duration {
+		sk := newSink()
+		cfg := testConfig(t, "crash", sk)
+		cfg.Retries = 3
+		var slept []time.Duration
+		cfg.sleep = func(d time.Duration) { slept = append(slept, d) }
+		sup := New(cfg)
+		if f := sup.Execute(cell("fig7/a")); f == nil {
+			t.Fatal("always-crashing worker succeeded")
+		}
+		return slept
+	}
+	a, b := schedule(), schedule()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("backoff schedules differ across runs: %v vs %v", a, b)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1]/2 {
+			t.Errorf("backoff not growing: %v", a)
+		}
+	}
+}
+
+// TestSupervisorCrashExhaustsBudget: a persistently crashing worker
+// becomes a permanent CellFailure whose diagnostic records the attempt
+// count, and the failure is committed through cfg.Fail.
+func TestSupervisorCrashExhaustsBudget(t *testing.T) {
+	sk := newSink()
+	cfg := testConfig(t, "crash", sk)
+	cfg.Retries = 1
+	sup := New(cfg)
+	f := sup.Execute(cell("fig7/a"))
+	if f == nil {
+		t.Fatal("always-crashing worker succeeded")
+	}
+	if !strings.Contains(f.Diagnostic, `gave up after 2 attempt(s)`) ||
+		!strings.Contains(f.Diagnostic, "exited abnormally") {
+		t.Errorf("diagnostic %q", f.Diagnostic)
+	}
+	if sk.fails["fig7/a"] != f.Diagnostic {
+		t.Errorf("Fail hook got %q, CellFailure says %q", sk.fails["fig7/a"], f.Diagnostic)
+	}
+	st := sup.Stats()
+	if st.Crashes != 2 || st.Retries != 1 || st.Failed != 1 || st.Computed != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestSupervisorZeroRetriesFailsImmediately mirrors the CLI's
+// -retries 0 contract: one attempt, no sleeps, immediate permanent
+// failure.
+func TestSupervisorZeroRetriesFailsImmediately(t *testing.T) {
+	sk := newSink()
+	cfg := testConfig(t, "crash", sk)
+	var slept []time.Duration
+	cfg.sleep = func(d time.Duration) { slept = append(slept, d) }
+	sup := New(cfg)
+	f := sup.Execute(cell("fig7/a"))
+	if f == nil || !strings.Contains(f.Diagnostic, "gave up after 1 attempt(s)") {
+		t.Fatalf("failure %+v", f)
+	}
+	if len(slept) != 0 {
+		t.Errorf("slept %v with no retry budget", slept)
+	}
+}
+
+// TestSupervisorDeterministicPanicStopsEarly: a worker that reports the
+// same structured failure twice has proven the failure deterministic;
+// the supervisor must stop burning budget and surface the worker's own
+// diagnostic and stack, exactly as an in-process panic would.
+func TestSupervisorDeterministicPanicStopsEarly(t *testing.T) {
+	sk := newSink()
+	cfg := testConfig(t, "panic", sk)
+	cfg.Retries = 5
+	sup := New(cfg)
+	f := sup.Execute(cell("fig7/a"))
+	if f == nil {
+		t.Fatal("deterministically panicking cell succeeded")
+	}
+	if f.Diagnostic != "simguard: deterministic boom" {
+		t.Errorf("diagnostic %q, want the worker's own", f.Diagnostic)
+	}
+	if !strings.Contains(f.Stack, "stub") {
+		t.Errorf("worker stack not preserved: %q", f.Stack)
+	}
+	st := sup.Stats()
+	if st.Retries != 1 {
+		t.Errorf("took %d retries to prove determinism, want exactly 1: %+v", st.Retries, st)
+	}
+}
+
+// TestSupervisorFlakyPanicUsesFullBudget: failures with differing
+// diagnostics are not provably deterministic, so the whole budget is
+// spent before giving up with the latest diagnostic.
+func TestSupervisorFlakyPanicUsesFullBudget(t *testing.T) {
+	sk := newSink()
+	cfg := testConfig(t, "flaky-panic", sk)
+	cfg.Retries = 2
+	sup := New(cfg)
+	f := sup.Execute(cell("fig7/a"))
+	if f == nil {
+		t.Fatal("flaky-panicking cell succeeded")
+	}
+	if f.Diagnostic != "simguard: boom on attempt 2" {
+		t.Errorf("diagnostic %q, want the final attempt's", f.Diagnostic)
+	}
+	if st := sup.Stats(); st.Retries != 2 {
+		t.Errorf("stats %+v, want the full budget spent", st)
+	}
+}
+
+// TestSupervisorTimeoutKillsStalledWorker: the stall-then-kill path —
+// a hung worker is killed at the per-attempt ceiling and counted as a
+// timeout, not a crash.
+func TestSupervisorTimeoutKillsStalledWorker(t *testing.T) {
+	sk := newSink()
+	cfg := testConfig(t, "hang", sk)
+	cfg.Timeout = 100 * time.Millisecond
+	sup := New(cfg)
+	f := sup.Execute(cell("fig7/a"))
+	if f == nil || !strings.Contains(f.Diagnostic, "timed out after") {
+		t.Fatalf("failure %+v", f)
+	}
+	if st := sup.Stats(); st.Timeouts != 1 || st.Crashes != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestSupervisorProtocolErrorsAreRetryable: garbage output, a
+// truncated frame, and an answer for the wrong cell are all crashes —
+// retryable, never silently decoded.
+func TestSupervisorProtocolErrorsAreRetryable(t *testing.T) {
+	for mode, wantSub := range map[string]string{
+		"garbage":   "protocol error",
+		"truncated": "protocol error",
+		"wrong-key": "wrong cell",
+	} {
+		t.Run(mode, func(t *testing.T) {
+			sk := newSink()
+			sup := New(testConfig(t, mode, sk))
+			f := sup.Execute(cell("fig7/a"))
+			if f == nil {
+				t.Fatalf("%s worker succeeded", mode)
+			}
+			if !strings.Contains(f.Diagnostic, wantSub) {
+				t.Errorf("diagnostic %q does not mention %q", f.Diagnostic, wantSub)
+			}
+			if len(sk.installs) != 0 {
+				t.Errorf("defective response installed: %v", sk.installs)
+			}
+		})
+	}
+}
+
+// TestSupervisorStoreHitSkipsWorker: a cell already in the store is
+// installed from disk; the worker command is never spawned (proven by
+// wiring a crashing worker behind a warm store).
+func TestSupervisorStoreHitSkipsWorker(t *testing.T) {
+	dir := t.TempDir()
+	store := mustStore(t, dir, "d", "v1")
+
+	sk1 := newSink()
+	cfg1 := testConfig(t, "ok", sk1)
+	cfg1.Store = store
+	if f := New(cfg1).Execute(cell("fig7/a")); f != nil {
+		t.Fatalf("priming run failed: %+v", f)
+	}
+
+	sk2 := newSink()
+	cfg2 := testConfig(t, "crash", sk2)
+	cfg2.Store = mustStore(t, dir, "d", "v1")
+	sup := New(cfg2)
+	if f := sup.Execute(cell("fig7/a")); f != nil {
+		t.Fatalf("store-backed run failed (worker must not have been needed): %+v", f)
+	}
+	if sk2.installs["fig7/a"] != sk1.installs["fig7/a"] {
+		t.Errorf("store served %q, computed %q", sk2.installs["fig7/a"], sk1.installs["fig7/a"])
+	}
+	if st := sup.Stats(); st.StoreHits != 1 || st.Computed != 0 || st.Crashes != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestSupervisorCorruptStoreEntryRecomputed: a defective entry is
+// rejected, counted, and the cell recomputed — never served.
+func TestSupervisorCorruptStoreEntryRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	store := mustStore(t, dir, "d", "v1")
+	if err := store.Put("fig7/a", []byte(`{"cell":"stale"}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(store.path("fig7/a"))
+	if err := os.WriteFile(store.path("fig7/a"), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var logBuf strings.Builder
+	sk := newSink()
+	cfg := testConfig(t, "ok", sk)
+	cfg.Store = store
+	cfg.Log = &logBuf
+	sup := New(cfg)
+	if f := sup.Execute(cell("fig7/a")); f != nil {
+		t.Fatalf("recompute failed: %+v", f)
+	}
+	if got := sk.installs["fig7/a"]; got != `{"cell":"fig7/a"}` {
+		t.Errorf("corrupt entry leaked into the install: %q", got)
+	}
+	if st := sup.Stats(); st.CorruptEntries != 1 || st.Computed != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if !strings.Contains(logBuf.String(), "rejected") {
+		t.Errorf("rejection not logged: %q", logBuf.String())
+	}
+	if payload, entErr := store.Get("fig7/a"); entErr != nil || string(payload) != `{"cell":"fig7/a"}` {
+		t.Errorf("store not repaired after recompute: %q, %v", payload, entErr)
+	}
+}
+
+// chaosKeys is the plan the chaos sweep supervises.
+func chaosKeys() []string {
+	keys := make([]string, 12)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fig7/design-%02d", i)
+	}
+	return keys
+}
+
+// runChaos executes the full plan under one injector through the real
+// scheduler pool and returns the supervisor's stats plus any failures.
+func runChaos(t *testing.T, inj simguard.FarmInjector, dir string, retries int) (Stats, []experiments.CellFailure, *sink) {
+	t.Helper()
+	sk := newSink()
+	cfg := testConfig(t, "slow-ok", sk)
+	cfg.Retries = retries
+	cfg.Timeout = 2 * time.Second
+	cfg.Kill = inj.Kill
+	cfg.Stall = inj.Stall
+	cfg.sleep = func(time.Duration) {} // chaos retries need no real backoff delay
+	if dir != "" {
+		cfg.Store = mustStore(t, dir, "d", "v1")
+	}
+	sup := New(cfg)
+	var cells []experiments.Cell
+	for _, k := range chaosKeys() {
+		cells = append(cells, cell(k))
+	}
+	failures := experiments.ExecuteCellsOn(sup, cells, 4, false, nil)
+	return sup.Stats(), failures, sk
+}
+
+// TestChaosSweep drives the simguard farm-injector catalog through the
+// supervisor and the real scheduler pool: every injected fault must be
+// absorbed (killed and stalled cells retried to success), the final
+// installs must be byte-identical to the fault-free control, the store
+// must hold only complete, verified entries, and the whole outcome must
+// be deterministic run-to-run.
+func TestChaosSweep(t *testing.T) {
+	control, controlFailures, controlSink := runChaos(t, simguard.FarmInjector{Name: "none"}, "", 3)
+	if len(controlFailures) != 0 || control.Computed != len(chaosKeys()) {
+		t.Fatalf("control run unhealthy: %+v, failures %+v", control, controlFailures)
+	}
+	for _, inj := range simguard.FarmInjectors(7) {
+		inj := inj
+		t.Run(inj.Name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			st, failures, sk := runChaos(t, inj, dir, 3)
+			if len(failures) != 0 {
+				t.Fatalf("injector %s caused permanent failures: %+v", inj.Name, failures)
+			}
+			if st.Computed+st.StoreHits != len(chaosKeys()) {
+				t.Errorf("not every cell completed: %+v", st)
+			}
+			// Every faulted attempt was retried: the injectors fault only
+			// first attempts, so retries must exactly cover them.
+			if st.Retries != st.KilledAttempts+st.Timeouts {
+				t.Errorf("retries %d do not cover kills %d + timeouts %d",
+					st.Retries, st.KilledAttempts, st.Timeouts)
+			}
+			if inj.Kill != nil && st.KilledAttempts == 0 {
+				t.Errorf("kill injector landed no kills: %+v", st)
+			}
+			if inj.Stall != nil && st.Timeouts == 0 {
+				t.Errorf("stall injector drove no timeouts: %+v", st)
+			}
+			// Installs are byte-identical to the fault-free control.
+			if !reflect.DeepEqual(sk.installs, controlSink.installs) {
+				t.Errorf("chaos changed the installed results:\n%v\nvs control\n%v", sk.installs, controlSink.installs)
+			}
+			// The store holds a complete, checksum-verified entry for
+			// every cell and no temp droppings.
+			store := mustStore(t, dir, "d", "v1")
+			for _, k := range chaosKeys() {
+				if payload, entErr := store.Get(k); entErr != nil || payload == nil {
+					t.Errorf("store entry for %s incomplete after chaos: %v", k, entErr)
+				}
+			}
+			if tmps, _ := filepath.Glob(filepath.Join(dir, ".tmp-*")); len(tmps) != 0 {
+				t.Errorf("partial writes left in store: %v", tmps)
+			}
+			// Determinism: the same injector over the same plan produces
+			// the same fault and completion counts.
+			st2, failures2, _ := runChaos(t, inj, t.TempDir(), 3)
+			if len(failures2) != 0 || st2 != st {
+				t.Errorf("chaos outcome not deterministic: %+v vs %+v", st2, st)
+			}
+		})
+	}
+}
+
+// TestChaosFailureReportIsDeterministic: with the retry budget at zero
+// and every first attempt killed, the run fails — and the failure
+// report (keys and diagnostics) is identical run to run.
+func TestChaosFailureReportIsDeterministic(t *testing.T) {
+	report := func() []string {
+		_, failures, _ := runChaos(t, simguard.FarmInjector{
+			Name: "kill-all", Kill: simguard.WorkerKill(7, 1),
+		}, "", 0)
+		var lines []string
+		for _, f := range failures {
+			lines = append(lines, f.Key+": "+f.Diagnostic)
+		}
+		sort.Strings(lines)
+		return lines
+	}
+	a, b := report(), report()
+	if len(a) != len(chaosKeys()) {
+		t.Fatalf("kill-all with no retries left %d/%d cells failed", len(a), len(chaosKeys()))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("failure report not deterministic:\n%v\nvs\n%v", a, b)
+	}
+	for _, line := range a {
+		if !strings.Contains(line, "gave up after 1 attempt(s)") {
+			t.Errorf("unexpected failure line %q", line)
+		}
+	}
+}

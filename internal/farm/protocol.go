@@ -1,0 +1,98 @@
+// Package farm is the crash-resilient experiment farm
+// (docs/ROBUSTNESS.md): a coordinator/worker split in which each
+// planned (design, workload) cell can execute in an isolated worker
+// subprocess, supervised with per-attempt wall-clock timeouts and
+// bounded seeded-backoff retries, over a durable content-checksummed
+// result store that makes re-runs of interrupted sweeps incremental.
+// The Supervisor implements experiments.CellExecutor, so the existing
+// scheduler, fail-fast drain, and failure reporting work unchanged —
+// and stdout stays byte-identical to an in-process run.
+package farm
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The coordinator and worker speak length-prefixed JSON frames: a
+// 4-byte big-endian payload length followed by that many bytes of
+// JSON. The coordinator writes exactly one Request on the worker's
+// stdin; the worker writes exactly one Response on stdout and exits.
+// Length prefixes make truncation detectable (a SIGKILLed worker's
+// half-written frame never parses as a success), and the one-shot
+// shape means there is no connection state to resynchronize after a
+// crash.
+
+// maxFrame bounds a frame's payload so a corrupt length prefix cannot
+// make the coordinator allocate unbounded memory. Cell payloads are a
+// few KB; 1 GiB is comfortably above any legitimate frame.
+const maxFrame = 1 << 30
+
+// Request is the coordinator's frame to a worker: which cell to run
+// and, for the chaos harness, whether to stall instead of answering
+// (driving the coordinator's stall-then-kill timeout path). Attempt is
+// informational — workers behave identically on every attempt; the
+// chaos test worker uses it to script attempt-dependent faults.
+type Request struct {
+	Key     string `json:"key"`
+	Attempt int    `json:"attempt"`
+	Stall   bool   `json:"stall,omitempty"`
+}
+
+// Failure is a worker-reported deterministic cell failure: the cell's
+// code panicked (watchdog abort, invariant violation) rather than the
+// worker crashing. The diagnostic is the same string an in-process run
+// would report for the cell.
+type Failure struct {
+	Diagnostic string `json:"diagnostic"`
+	Stack      string `json:"stack,omitempty"`
+}
+
+// Response is the worker's single reply: a serialized result payload
+// (experiments.ExportPayload) on success, or a structured Failure.
+type Response struct {
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Failure *Failure        `json:"failure,omitempty"`
+}
+
+// WriteFrame writes one length-prefixed JSON frame.
+func WriteFrame(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("farm: encoding frame: %w", err)
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(data)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return fmt.Errorf("farm: writing frame: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("farm: writing frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed JSON frame into v. A short read
+// — the torso of a frame from a killed worker — is an error, never a
+// silent partial decode.
+func ReadFrame(r io.Reader, v any) error {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return fmt.Errorf("farm: reading frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > maxFrame {
+		return fmt.Errorf("farm: frame length %d exceeds limit %d", n, maxFrame)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return fmt.Errorf("farm: reading %d-byte frame: %w", n, err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("farm: decoding frame: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := Request{Key: "fig7/CMP-SNUCA/L2-8MB", Attempt: 2, Stall: true}
+	if err := WriteFrame(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	var got Request
+	if err := ReadFrame(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Errorf("round trip changed the request: %+v != %+v", got, req)
+	}
+
+	buf.Reset()
+	resp := Response{
+		Key:     "fig7/x",
+		Payload: json.RawMessage(`{"a":1}`),
+		Failure: &Failure{Diagnostic: "simguard: boom", Stack: "goroutine 1"},
+	}
+	if err := WriteFrame(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	var gotR Response
+	if err := ReadFrame(&buf, &gotR); err != nil {
+		t.Fatal(err)
+	}
+	if gotR.Key != resp.Key || string(gotR.Payload) != string(resp.Payload) ||
+		gotR.Failure == nil || *gotR.Failure != *resp.Failure {
+		t.Errorf("round trip changed the response: %+v != %+v", gotR, resp)
+	}
+}
+
+// TestTruncatedFrameIsAnError: the torso of a frame from a killed
+// worker must never decode as a success.
+func TestTruncatedFrameIsAnError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Request{Key: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		var got Request
+		if err := ReadFrame(bytes.NewReader(full[:cut]), &got); err == nil {
+			t.Errorf("frame truncated to %d/%d bytes decoded cleanly", cut, len(full))
+		}
+	}
+}
+
+// TestOversizedFrameRejected: a corrupt length prefix must not drive an
+// unbounded allocation.
+func TestOversizedFrameRejected(t *testing.T) {
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], maxFrame+1)
+	var got Request
+	err := ReadFrame(bytes.NewReader(prefix[:]), &got)
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized frame not rejected: %v", err)
+	}
+}
+
+// TestCorruptFrameBodyRejected: a correctly-sized but non-JSON body is
+// a decode error, not a zero-valued success.
+func TestCorruptFrameBodyRejected(t *testing.T) {
+	body := []byte("not json at all")
+	var buf bytes.Buffer
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
+	buf.Write(prefix[:])
+	buf.Write(body)
+	var got Response
+	if err := ReadFrame(&buf, &got); err == nil || !strings.Contains(err.Error(), "decoding") {
+		t.Errorf("corrupt body not rejected: %v", err)
+	}
+}

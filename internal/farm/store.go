@@ -1,0 +1,199 @@
+package farm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+)
+
+// Store is the durable result store (docs/ROBUSTNESS.md): one file per
+// completed cell, keyed by (cell key, config digest, code version),
+// with a SHA-256 integrity checksum over the payload. Writes are
+// atomic — an O_EXCL temp file renamed into place — so a store shared
+// by concurrent farm runs, or hit by a coordinator crash mid-write,
+// never contains a partial entry under a final name. Reads trust
+// nothing: a truncated, bit-flipped, mis-keyed, or stale-code-version
+// entry is rejected with a structured diagnostic and the cell is
+// recomputed.
+type Store struct {
+	dir string
+	// digest is the run-configuration digest (experiments.RunConfig
+	// .Digest); it is part of the entry filename, so two scales never
+	// contend for the same entry.
+	digest string
+	// version is the code version baked into entries; an entry written
+	// by different code is stale and recomputed.
+	version string
+}
+
+// storeEntry is the on-disk shape of one cached cell.
+type storeEntry struct {
+	Key     string `json:"key"`
+	Digest  string `json:"digest"`
+	Version string `json:"version"`
+	// SHA256 is the hex checksum of the exact Payload bytes.
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// EntryError is a structured store-entry rejection: which entry, why,
+// and where on disk. The supervisor logs it and recomputes the cell;
+// a rejected entry is never served.
+type EntryError struct {
+	Key    string
+	Path   string
+	Reason string
+}
+
+func (e *EntryError) Error() string {
+	return fmt.Sprintf("farm: store entry for %q rejected (%s): %s", e.Key, e.Path, e.Reason)
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir for the
+// given config digest and code version.
+func OpenStore(dir, digest, version string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("farm: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("farm: creating store: %w", err)
+	}
+	return &Store{dir: dir, digest: digest, version: version}, nil
+}
+
+// DefaultStoreDir returns the per-user default store location
+// (~/.cache/cmpnurapid/cells on Linux), or an error when the
+// environment defines no cache home.
+func DefaultStoreDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("farm: no user cache dir: %w", err)
+	}
+	return filepath.Join(base, "cmpnurapid", "cells"), nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a cell key to its entry file. The name hashes (key,
+// digest) so arbitrary cell keys (slashes and all) become flat, fixed
+// -length filenames, and entries from different run scales coexist.
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(key + "\x00" + s.digest))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:16])+".json")
+}
+
+// Get returns the stored payload for key, or (nil, nil) on a clean
+// miss. Any defect — unreadable file, truncated or unparsable JSON,
+// checksum mismatch, wrong key, wrong config digest, stale code
+// version — returns a *EntryError and the entry is deleted so the
+// recompute's Put starts clean.
+func (s *Store) Get(key string) ([]byte, *EntryError) {
+	path := s.path(key)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, s.reject(key, path, fmt.Sprintf("unreadable: %v", err))
+	}
+	var ent storeEntry
+	if err := json.Unmarshal(data, &ent); err != nil {
+		return nil, s.reject(key, path, fmt.Sprintf("corrupt: %v", err))
+	}
+	if ent.Key != key {
+		return nil, s.reject(key, path, fmt.Sprintf("keyed for %q", ent.Key))
+	}
+	if ent.Digest != s.digest {
+		return nil, s.reject(key, path, fmt.Sprintf("config digest %q, want %q", ent.Digest, s.digest))
+	}
+	if ent.Version != s.version {
+		return nil, s.reject(key, path, fmt.Sprintf("stale code version %q, want %q", ent.Version, s.version))
+	}
+	sum := sha256.Sum256(ent.Payload)
+	if got := hex.EncodeToString(sum[:]); got != ent.SHA256 {
+		return nil, s.reject(key, path, fmt.Sprintf("payload checksum %s does not match recorded %s", got, ent.SHA256))
+	}
+	return ent.Payload, nil
+}
+
+// reject builds the structured rejection and removes the bad entry
+// (best-effort: a concurrent run may already have replaced it).
+func (s *Store) reject(key, path, reason string) *EntryError {
+	_ = os.Remove(path)
+	return &EntryError{Key: key, Path: path, Reason: reason}
+}
+
+// Put durably records a completed cell's payload. The entry becomes
+// visible only via rename, so concurrent readers (and other farm runs
+// sharing the directory) see either nothing or a complete entry —
+// never a partial write.
+func (s *Store) Put(key string, payload []byte) error {
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(storeEntry{
+		Key:     key,
+		Digest:  s.digest,
+		Version: s.version,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("farm: encoding store entry for %q: %w", key, err)
+	}
+	// CreateTemp opens with O_EXCL, so two concurrent writers get two
+	// distinct temp files; whichever renames last wins with a complete
+	// entry either way.
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("farm: creating store temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("farm: writing store entry for %q: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("farm: closing store entry for %q: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("farm: publishing store entry for %q: %w", key, err)
+	}
+	return nil
+}
+
+// CodeVersion derives the code-version component of store keys from
+// the running binary's build info: the VCS revision (plus a -dirty
+// marker) when the binary was built from a checkout, else the main
+// module version. Binaries without build info (or uncommitted test
+// builds) share the conservative "unversioned" bucket — still distinct
+// from any released revision.
+func CodeVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unversioned"
+	}
+	var rev, dirty string
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			if kv.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		return rev + dirty
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "unversioned"
+}

@@ -1,0 +1,228 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustStore(t *testing.T, dir, digest, version string) *Store {
+	t.Helper()
+	s, err := OpenStore(dir, digest, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := mustStore(t, t.TempDir(), "w1-i1-s1-mc0", "v1")
+	payload := []byte(`{"cell":"fig7/a","v":[1,2,3]}`)
+	if got, entErr := s.Get("fig7/a"); got != nil || entErr != nil {
+		t.Fatalf("empty store Get = %q, %v; want clean miss", got, entErr)
+	}
+	if err := s.Put("fig7/a", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, entErr := s.Get("fig7/a")
+	if entErr != nil {
+		t.Fatal(entErr)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("Get returned %q, want %q", got, payload)
+	}
+}
+
+// corrupt each stored entry a different way and check every defect is
+// rejected with a structured diagnostic, the bad entry is deleted, and
+// the next lookup is a clean miss (so the recompute's Put starts
+// fresh).
+func TestStoreRejectsDefectiveEntries(t *testing.T) {
+	cases := []struct {
+		name    string
+		mangle  func(t *testing.T, path string)
+		wantSub string
+	}{
+		{
+			name: "truncated",
+			mangle: func(t *testing.T, path string) {
+				data, _ := os.ReadFile(path)
+				if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantSub: "corrupt",
+		},
+		{
+			name: "bit flip in payload",
+			mangle: func(t *testing.T, path string) {
+				data, _ := os.ReadFile(path)
+				// Flip a digit inside the JSON payload without breaking
+				// the JSON shape: integrity must come from the checksum,
+				// not from parse failures.
+				flipped := strings.Replace(string(data), `[1,2,3]`, `[1,2,4]`, 1)
+				if flipped == string(data) {
+					t.Fatal("payload marker not found")
+				}
+				if err := os.WriteFile(path, []byte(flipped), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantSub: "checksum",
+		},
+		{
+			name: "empty file",
+			mangle: func(t *testing.T, path string) {
+				if err := os.WriteFile(path, nil, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantSub: "corrupt",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustStore(t, t.TempDir(), "d", "v1")
+			if err := s.Put("fig7/a", []byte(`{"v":[1,2,3]}`)); err != nil {
+				t.Fatal(err)
+			}
+			tc.mangle(t, s.path("fig7/a"))
+			got, entErr := s.Get("fig7/a")
+			if got != nil || entErr == nil {
+				t.Fatalf("defective entry served: payload %q, err %v", got, entErr)
+			}
+			if !strings.Contains(entErr.Error(), tc.wantSub) {
+				t.Errorf("rejection %q does not mention %q", entErr.Error(), tc.wantSub)
+			}
+			if again, entErr2 := s.Get("fig7/a"); again != nil || entErr2 != nil {
+				t.Errorf("defective entry not deleted: second Get = %q, %v", again, entErr2)
+			}
+		})
+	}
+}
+
+// TestStoreRejectsStaleCodeVersion: an entry written by a different
+// code revision is stale — detected, reported, and recomputed rather
+// than served.
+func TestStoreRejectsStaleCodeVersion(t *testing.T) {
+	dir := t.TempDir()
+	old := mustStore(t, dir, "d", "rev-old")
+	if err := old.Put("fig7/a", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	cur := mustStore(t, dir, "d", "rev-new")
+	got, entErr := cur.Get("fig7/a")
+	if got != nil || entErr == nil {
+		t.Fatalf("stale-version entry served: %q, %v", got, entErr)
+	}
+	if !strings.Contains(entErr.Error(), "stale code version") {
+		t.Errorf("rejection %q does not name the stale version", entErr.Error())
+	}
+}
+
+// TestStoreRejectsMiskeyedEntry: a file sitting at key B's path but
+// recording key A (filesystem-level tampering or a copy gone wrong) is
+// rejected by the in-content key check.
+func TestStoreRejectsMiskeyedEntry(t *testing.T) {
+	s := mustStore(t, t.TempDir(), "d", "v1")
+	if err := s.Put("fig7/a", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s.path("fig7/a"), s.path("fig7/b")); err != nil {
+		t.Fatal(err)
+	}
+	got, entErr := s.Get("fig7/b")
+	if got != nil || entErr == nil {
+		t.Fatalf("mis-keyed entry served: %q, %v", got, entErr)
+	}
+	if !strings.Contains(entErr.Error(), `keyed for "fig7/a"`) {
+		t.Errorf("rejection %q does not name the actual key", entErr.Error())
+	}
+}
+
+// TestStoreDigestsCoexist: the digest is part of the filename, so two
+// run scales share a directory without contending for entries.
+func TestStoreDigestsCoexist(t *testing.T) {
+	dir := t.TempDir()
+	small := mustStore(t, dir, "w1-i1-s1-mc0", "v1")
+	large := mustStore(t, dir, "w2-i2-s1-mc0", "v1")
+	if err := small.Put("fig7/a", []byte(`{"scale":"small"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := large.Put("fig7/a", []byte(`{"scale":"large"}`)); err != nil {
+		t.Fatal(err)
+	}
+	gotS, errS := small.Get("fig7/a")
+	gotL, errL := large.Get("fig7/a")
+	if errS != nil || errL != nil {
+		t.Fatal(errS, errL)
+	}
+	if string(gotS) != `{"scale":"small"}` || string(gotL) != `{"scale":"large"}` {
+		t.Errorf("scales interfered: small %q, large %q", gotS, gotL)
+	}
+}
+
+// TestStoreConcurrentWritersNeverInterleave: two farm runs sharing a
+// store directory hammer the same keys; every surviving entry must be
+// complete and internally consistent (atomic rename, O_EXCL temps),
+// and no temp files may remain.
+func TestStoreConcurrentWritersNeverInterleave(t *testing.T) {
+	dir := t.TempDir()
+	a := mustStore(t, dir, "d", "v1")
+	b := mustStore(t, dir, "d", "v1")
+	const keys, rounds = 8, 20
+	var wg sync.WaitGroup
+	for _, s := range []*Store{a, b} {
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(s *Store, w int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					for k := 0; k < keys; k++ {
+						key := fmt.Sprintf("cell/%d", k)
+						payload := []byte(fmt.Sprintf(`{"key":"cell/%d","round":%d,"writer":%d}`, k, r, w))
+						if err := s.Put(key, payload); err != nil {
+							t.Error(err)
+							return
+						}
+						if got, entErr := s.Get(key); entErr != nil {
+							t.Errorf("reader saw a defective entry mid-write: %v", entErr)
+							return
+						} else if got == nil {
+							t.Error("reader saw a miss while writers were active")
+							return
+						}
+					}
+				}
+			}(s, w)
+		}
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("cell/%d", k)
+		got, entErr := a.Get(key)
+		if entErr != nil || got == nil {
+			t.Fatalf("final entry for %s defective: %v", key, entErr)
+		}
+		var decoded struct {
+			Key string `json:"key"`
+		}
+		if err := json.Unmarshal(got, &decoded); err != nil || decoded.Key != key {
+			t.Errorf("final entry for %s interleaved or corrupt: %q (err %v)", key, got, err)
+		}
+	}
+	tmps, err := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if err != nil || len(tmps) != 0 {
+		t.Errorf("temp files left behind: %v (err %v)", tmps, err)
+	}
+}
+
+func TestCodeVersionIsNonEmpty(t *testing.T) {
+	if CodeVersion() == "" {
+		t.Error("CodeVersion returned an empty string")
+	}
+}

@@ -1,0 +1,72 @@
+package simguard
+
+import "cmpnurapid/internal/rng"
+
+// Farm-level fault injectors (docs/ROBUSTNESS.md). The in-simulator
+// injectors above perturb timing inside a healthy process; these model
+// the process-level failures the experiment farm (internal/farm) must
+// survive: a worker SIGKILLed mid-cell (OOM killer, node failure) and
+// a worker that livelocks without crashing (stall-then-kill via the
+// coordinator's per-attempt timeout). Decisions are pure functions of
+// (seed, cell key, attempt), so a chaos schedule is reproducible and a
+// killed cell's retry — attempt 1 — deterministically runs clean,
+// which is why a chaos run's final stdout is byte-identical to a
+// fault-free one.
+
+// farmHash folds a cell key into a seeded rng stream.
+func farmHash(seed uint64, key string) *rng.Source {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return rng.New(seed ^ h)
+}
+
+// WorkerKill returns a coordinator-side kill decision: SIGKILL the
+// worker running (key, attempt) after a short seeded delay. A seeded
+// frac of cells is killed on their first attempt only, so every killed
+// cell's retry succeeds and the sweep still completes with exit 0.
+func WorkerKill(seed uint64, frac float64) func(key string, attempt int) bool {
+	return func(key string, attempt int) bool {
+		return attempt == 0 && farmHash(seed^0x4b11, key).Bool(frac)
+	}
+}
+
+// WorkerStall returns a worker-side stall decision: the chosen
+// (key, attempt) hangs instead of answering, driving the
+// coordinator's timeout (stall-then-kill). First attempts only, as
+// with WorkerKill.
+func WorkerStall(seed uint64, frac float64) func(key string, attempt int) bool {
+	return func(key string, attempt int) bool {
+		return attempt == 0 && farmHash(seed^0x57a11, key).Bool(frac)
+	}
+}
+
+// FarmInjector is one catalog entry of the farm chaos sweep: named,
+// seeded process-level faults the farm tests apply to a full plan.
+// Either hook may be nil.
+type FarmInjector struct {
+	Name string
+	// Kill is wired into farm.Config.Kill (SIGKILL mid-cell).
+	Kill func(key string, attempt int) bool
+	// Stall is wired into farm.Config.Stall (hang until the timeout).
+	Stall func(key string, attempt int) bool
+}
+
+// FarmInjectors returns the standard farm chaos catalog at the given
+// seed: no fault (the control), worker kills, worker stalls, and both
+// at once.
+func FarmInjectors(seed uint64) []FarmInjector {
+	return []FarmInjector{
+		{Name: "none"},
+		{Name: "worker-kill", Kill: WorkerKill(seed, 0.5)},
+		{Name: "worker-stall", Stall: WorkerStall(seed, 0.5)},
+		{
+			Name:  "worker-kill+worker-stall",
+			Kill:  WorkerKill(seed+1, 0.4),
+			Stall: WorkerStall(seed+1, 0.4),
+		},
+	}
+}

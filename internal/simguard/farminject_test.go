@@ -1,0 +1,117 @@
+package simguard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func farmTestKeys() []string {
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fig7/design-%02d", i)
+	}
+	return keys
+}
+
+// TestWorkerKillIsDeterministic: the kill decision is a pure function
+// of (seed, key, attempt) — the property that makes a chaos schedule
+// reproducible.
+func TestWorkerKillIsDeterministic(t *testing.T) {
+	a, b := WorkerKill(7, 0.5), WorkerKill(7, 0.5)
+	other := WorkerKill(8, 0.5)
+	differs := false
+	for _, key := range farmTestKeys() {
+		if a(key, 0) != b(key, 0) {
+			t.Fatalf("same seed disagreed on %s", key)
+		}
+		if a(key, 0) != other(key, 0) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("seeds 7 and 8 chose identical kill sets over 64 keys")
+	}
+}
+
+// TestFarmInjectorsFaultFirstAttemptsOnly: retries (attempt > 0) are
+// never faulted, so every chaos run deterministically converges.
+func TestFarmInjectorsFaultFirstAttemptsOnly(t *testing.T) {
+	for _, inj := range FarmInjectors(7) {
+		for _, hook := range []func(string, int) bool{inj.Kill, inj.Stall} {
+			if hook == nil {
+				continue
+			}
+			for _, key := range farmTestKeys() {
+				for attempt := 1; attempt < 4; attempt++ {
+					if hook(key, attempt) {
+						t.Fatalf("injector %s faults attempt %d of %s", inj.Name, attempt, key)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWorkerKillFractionBounds: frac 0 never kills, frac 1 kills every
+// first attempt, and an intermediate frac kills some but not all.
+func TestWorkerKillFractionBounds(t *testing.T) {
+	none, all, half := WorkerKill(7, 0), WorkerKill(7, 1), WorkerKill(7, 0.5)
+	kills := 0
+	for _, key := range farmTestKeys() {
+		if none(key, 0) {
+			t.Errorf("frac 0 killed %s", key)
+		}
+		if !all(key, 0) {
+			t.Errorf("frac 1 spared %s", key)
+		}
+		if half(key, 0) {
+			kills++
+		}
+	}
+	if kills == 0 || kills == len(farmTestKeys()) {
+		t.Errorf("frac 0.5 killed %d/%d keys", kills, len(farmTestKeys()))
+	}
+}
+
+// TestWorkerKillAndStallStreamsAreIndependent: the kill and stall
+// decisions at the same seed are drawn from distinct streams — a cell
+// is not automatically stalled because it would have been killed.
+func TestWorkerKillAndStallStreamsAreIndependent(t *testing.T) {
+	kill, stall := WorkerKill(7, 0.5), WorkerStall(7, 0.5)
+	same := true
+	for _, key := range farmTestKeys() {
+		if kill(key, 0) != stall(key, 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("kill and stall decisions identical across 64 keys")
+	}
+}
+
+// TestFarmInjectorsCatalog: the catalog shape the chaos sweep relies
+// on — a fault-free control plus kill, stall, and combined entries.
+func TestFarmInjectorsCatalog(t *testing.T) {
+	injs := FarmInjectors(7)
+	want := map[string]struct{ kill, stall bool }{
+		"none":                     {false, false},
+		"worker-kill":              {true, false},
+		"worker-stall":             {false, true},
+		"worker-kill+worker-stall": {true, true},
+	}
+	if len(injs) != len(want) {
+		t.Fatalf("catalog has %d entries, want %d", len(injs), len(want))
+	}
+	for _, inj := range injs {
+		w, ok := want[inj.Name]
+		if !ok {
+			t.Errorf("unexpected injector %q", inj.Name)
+			continue
+		}
+		if (inj.Kill != nil) != w.kill || (inj.Stall != nil) != w.stall {
+			t.Errorf("injector %q hooks kill=%v stall=%v, want kill=%v stall=%v",
+				inj.Name, inj.Kill != nil, inj.Stall != nil, w.kill, w.stall)
+		}
+	}
+}

@@ -27,6 +27,9 @@ run_benches() {
 	go test -run '^$' -bench '^(BenchmarkSharedAccess|BenchmarkSNUCAAccess|BenchmarkPrivateAccess)$' -benchtime 10000x -benchmem ./internal/l2
 	go test -run '^$' -bench '^(BenchmarkGeneratorNext|BenchmarkMixNext)$' -benchtime 100000x -benchmem ./internal/workload
 	go test -run '^$' -bench '^BenchmarkExecuteCells$' -benchtime 200x -benchmem ./internal/experiments
+	# No -benchmem: subprocess spawning allocates nondeterministically,
+	# so the farm benchmark tracks wall time only (docs/ROBUSTNESS.md).
+	go test -run '^$' -bench '^BenchmarkFarmOverhead$' -benchtime 50x ./internal/farm
 }
 
 run_benches > "$out"

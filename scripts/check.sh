@@ -63,6 +63,32 @@ go test -race -short -run 'TestChaosSweep|TestControlInjectorIsBitIdentical' ./i
 echo "== chaos: watchdog catches the seeded livelock mutant =="
 go test -race -run 'TestWatchdogCatchesLivelockMutant|TestWatchdogTripsOnZeroWorkStream' ./internal/simguard ./internal/cmpsim
 
+echo "== farm: chaos sweep (worker kills/stalls) under race =="
+go test -race -short -run 'TestChaosSweep|TestChaosFailureReportIsDeterministic' ./internal/farm
+
+echo "== farm: SIGKILLed workers, sweep still byte-identical to golden =="
+go run ./cmd/experiments -exp table1,fig5 -parallel 4 -warmup 200000 -instr 200000 -quiet \
+	-isolate -no-store -chaos-kill-frac 0.5 -retries 3 > /tmp/farm_chaos.out 2>/dev/null
+diff docs/golden/quick_table1_fig5.golden /tmp/farm_chaos.out
+
+echo "== farm: interrupted sweep resumes from the store =="
+farm_store=$(mktemp -d)
+go run ./cmd/experiments -exp table1,fig5 -warmup 50000 -instr 50000 -quiet > /tmp/farm_base.out
+set +e
+go run ./cmd/experiments -exp table1,fig5 -warmup 50000 -instr 50000 -quiet \
+	-isolate -store "$farm_store" -chaos-kill-frac 0.5 -retries 0 > /tmp/farm_interrupted.out 2>/dev/null
+farm_code=$?
+set -e
+if [ "$farm_code" -ne 1 ]; then
+	echo "expected the interrupted sweep to exit 1, got $farm_code"
+	exit 1
+fi
+go run ./cmd/experiments -exp table1,fig5 -warmup 50000 -instr 50000 -quiet \
+	-isolate -store "$farm_store" > /tmp/farm_resumed.out 2> /tmp/farm_resumed.err
+grep 'farm: ' /tmp/farm_resumed.err | grep -vq ' 0 store hits'
+diff /tmp/farm_base.out /tmp/farm_resumed.out
+rm -rf "$farm_store"
+
 echo "== chaos: graceful degradation on cell failure =="
 set +e
 go run ./cmd/experiments -exp table1,fig7 -warmup 500 -instr 500 -max-cycles 500 -quiet > /tmp/chaos_smoke.out 2>/dev/null
